@@ -1,0 +1,63 @@
+// Command dcqcn-bufcalc computes the §4 switch buffer thresholds —
+// headroom (t_flight), the PFC PAUSE threshold (t_PFC) and the largest
+// safe ECN threshold (t_ECN) — for a shared-buffer switch.
+//
+// Usage:
+//
+//	dcqcn-bufcalc [-buffer 12000000] [-ports 32] [-priorities 8]
+//	              [-rate 40e9] [-mtu 1500] [-cable 500ns] [-beta 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcqcn"
+)
+
+func main() {
+	buffer := flag.Int64("buffer", 12_000_000, "shared buffer B in bytes")
+	ports := flag.Int("ports", 32, "number of ports n")
+	priorities := flag.Int("priorities", 8, "PFC priority classes")
+	rate := flag.Float64("rate", 40e9, "port speed in bits/s")
+	mtu := flag.Int64("mtu", 1500, "MTU in bytes")
+	cable := flag.Duration("cable", 500*time.Nanosecond, "one-way cable delay")
+	beta := flag.Float64("beta", 8, "dynamic threshold sharing factor")
+	flag.Parse()
+
+	spec := dcqcn.Arista7050QX32()
+	spec.BufferBytes = *buffer
+	spec.Ports = *ports
+	spec.Priorities = *priorities
+	spec.LineRate = dcqcn.Rate(*rate)
+	spec.MTUBytes = *mtu
+	spec.CableDelay = dcqcn.Duration(cable.Nanoseconds()) * dcqcn.Nanosecond
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	plan := dcqcn.PlanBuffers(spec, *beta)
+	fmt.Printf("switch: B=%.1fMB n=%d priorities=%d rate=%v MTU=%dB\n",
+		float64(spec.BufferBytes)/1e6, spec.Ports, spec.Priorities, spec.LineRate, spec.MTUBytes)
+	fmt.Printf("  headroom t_flight        = %.2f KB per (port, priority)\n", float64(plan.Headroom)/1000)
+	fmt.Printf("  static  t_PFC upper bound= %.2f KB\n", float64(plan.StaticPFC)/1000)
+	fmt.Printf("  naive   t_ECN bound      = %.2f KB", float64(plan.NaiveECNBound)/1000)
+	if plan.NaiveECNBound < spec.MTUBytes {
+		fmt.Printf("  (< 1 MTU: INFEASIBLE, as the paper finds)")
+	}
+	fmt.Println()
+	fmt.Printf("  dynamic t_ECN bound      = %.2f KB with beta=%g", float64(plan.ECNThreshold)/1000, *beta)
+	if plan.Feasible {
+		fmt.Printf("  (feasible)")
+	} else {
+		fmt.Printf("  (INFEASIBLE)")
+	}
+	fmt.Println()
+	fmt.Printf("\nrecommended DCQCN marking on this switch: K_min=5KB, K_max within the\n" +
+		"dynamic bound above at the ingress worst case; the paper deploys\n" +
+		"K_min=5KB K_max=200KB P_max=1%% (egress queues are bounded well below\n" +
+		"K_max at the DCQCN operating point; see the fluid fixed point).\n")
+}

@@ -1,0 +1,100 @@
+// Command dcqcn-fluid solves the DCQCN fluid model (§5) and prints
+// either a trajectory in CSV form or the analytic fixed point.
+//
+// Usage:
+//
+//	dcqcn-fluid [-flows 2] [-rates 40e9,5e9] [-duration 200ms]
+//	            [-g 0.00390625] [-timer 55us] [-bc 10000000]
+//	            [-kmin 5000] [-kmax 200000] [-pmax 0.01]
+//	            [-fixedpoint] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcqcn"
+)
+
+func main() {
+	flows := flag.Int("flows", 2, "number of flows N")
+	rateList := flag.String("rates", "", "comma-separated initial rates in bits/s (default: line rate each)")
+	duration := flag.Duration("duration", 200*time.Millisecond, "model horizon")
+	g := flag.Float64("g", 1.0/256, "alpha gain g")
+	timer := flag.Duration("timer", 55*time.Microsecond, "rate increase timer")
+	bc := flag.Int64("bc", 10_000_000, "byte counter")
+	kmin := flag.Int64("kmin", 5_000, "K_min")
+	kmax := flag.Int64("kmax", 200_000, "K_max")
+	pmax := flag.Float64("pmax", 0.01, "P_max")
+	fixed := flag.Bool("fixedpoint", false, "print the analytic equilibrium instead of a trajectory")
+	csv := flag.Bool("csv", false, "emit full CSV trajectory (time, rates..., queue)")
+	flag.Parse()
+
+	cfg := dcqcn.DefaultFluidConfig()
+	cfg.Params.G = *g
+	cfg.Params.RateTimer = dcqcn.Duration(timer.Nanoseconds()) * dcqcn.Nanosecond
+	cfg.Params.ByteCounter = *bc
+	cfg.Params.KMin, cfg.Params.KMax, cfg.Params.PMax = *kmin, *kmax, *pmax
+	cfg.Duration = dcqcn.Duration(duration.Nanoseconds()) * dcqcn.Nanosecond
+
+	cfg.InitialRates = make([]dcqcn.Rate, *flows)
+	for i := range cfg.InitialRates {
+		cfg.InitialRates[i] = cfg.Params.LineRate
+	}
+	if *rateList != "" {
+		parts := strings.Split(*rateList, ",")
+		cfg.InitialRates = cfg.InitialRates[:0]
+		for _, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad rate %q: %v\n", p, err)
+				os.Exit(2)
+			}
+			cfg.InitialRates = append(cfg.InitialRates, dcqcn.Rate(v))
+		}
+	}
+
+	if *fixed {
+		fp, err := dcqcn.FluidEquilibrium(cfg, len(cfg.InitialRates))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("N=%d C=%v\n  p*     = %.6f\n  queue* = %.1f KB\n  RT*    = %.3f Gbps\n  alpha* = %.5f\n",
+			len(cfg.InitialRates), cfg.Capacity, fp.P, fp.Queue/1000, fp.RT/1e9, fp.Alpha)
+		return
+	}
+
+	res, err := dcqcn.SolveFluid(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print("time_s")
+		for i := range res.Rates {
+			fmt.Printf(",rate%d_bps", i+1)
+		}
+		fmt.Println(",queue_bytes")
+		for s := range res.Time {
+			fmt.Printf("%.6f", res.Time[s])
+			for i := range res.Rates {
+				fmt.Printf(",%.0f", res.Rates[i][s])
+			}
+			fmt.Printf(",%.0f\n", res.Queue[s])
+		}
+		return
+	}
+	last := len(res.Time) - 1
+	fmt.Printf("after %v: queue=%.1fKB\n", cfg.Duration, res.Queue[last]/1000)
+	for i := range res.Rates {
+		fmt.Printf("  flow %d: %.3f Gbps (alpha %.5f)\n", i+1, res.Rates[i][last]/1e9, res.Alpha[i][last])
+	}
+	if len(res.Rates) >= 2 {
+		fmt.Printf("  mean |r1-r2| after 10ms: %.3f Gbps\n", res.RateDiff(0, 1, 0.01)/1e9)
+	}
+}

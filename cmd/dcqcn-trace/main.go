@@ -1,0 +1,81 @@
+// Command dcqcn-trace runs a two-sender convergence scenario (the shape
+// of the paper's Figs. 10 and 13) and emits a CSV time series of both
+// flows' paced rates and the bottleneck queue — ready for plotting.
+//
+// Usage:
+//
+//	dcqcn-trace [-duration 100ms] [-second-start 5ms] [-sample 100us]
+//	            [-g 0.00390625] [-timer 55us] [-bc 10000000]
+//	            [-kmin 5000] [-kmax 200000] [-pmax 0.01] > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcqcn"
+)
+
+func main() {
+	duration := flag.Duration("duration", 100*time.Millisecond, "simulated time after the second flow starts")
+	secondStart := flag.Duration("second-start", 5*time.Millisecond, "when the second sender joins")
+	sample := flag.Duration("sample", 100*time.Microsecond, "sampling period")
+	g := flag.Float64("g", 1.0/256, "alpha gain g")
+	timer := flag.Duration("timer", 55*time.Microsecond, "rate increase timer")
+	bc := flag.Int64("bc", 10_000_000, "byte counter (bytes)")
+	kmin := flag.Int64("kmin", 5_000, "ECN K_min")
+	kmax := flag.Int64("kmax", 200_000, "ECN K_max")
+	pmax := flag.Float64("pmax", 0.01, "ECN P_max")
+	flag.Parse()
+
+	params := dcqcn.DefaultParams()
+	params.G = *g
+	params.RateTimer = dcqcn.Duration(timer.Nanoseconds()) * dcqcn.Nanosecond
+	params.ByteCounter = *bc
+	params.KMin, params.KMax, params.PMax = *kmin, *kmax, *pmax
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sim := dcqcn.NewStarNetwork(1, 3, dcqcn.DefaultOptions().WithDCQCN(params))
+	recv := sim.Host("H3").NodeID()
+	keep := func(f *dcqcn.Flow) {
+		var post func()
+		post = func() { f.PostMessage(8e6, func(dcqcn.Completion) { post() }) }
+		post()
+	}
+	f1 := sim.Host("H1").OpenFlow(recv)
+	keep(f1)
+
+	rec := sim.NewRecorder(dcqcn.Duration(sample.Nanoseconds()) * dcqcn.Nanosecond)
+	rec.GaugeRate("flow1_gbps", f1)
+	startAt := dcqcn.Time(dcqcn.Duration(secondStart.Nanoseconds()) * dcqcn.Nanosecond)
+	var f2 *dcqcn.Flow
+	sim.At(startAt, func() {
+		f2 = sim.Host("H2").OpenFlow(recv)
+		keep(f2)
+	})
+	// flow2 reads 0 until it exists.
+	rec.Gauge("flow2_gbps", func() float64 {
+		if f2 == nil {
+			return 0
+		}
+		return float64(f2.CurrentRate()) / 1e9
+	})
+	rec.Gauge("queue_kb", func() float64 {
+		return float64(sim.QueueLength("SW", 2)) / 1000
+	})
+	rec.Start()
+
+	horizon := dcqcn.Duration(secondStart.Nanoseconds()+duration.Nanoseconds()) * dcqcn.Nanosecond
+	sim.RunFor(horizon)
+	rec.Stop()
+
+	if err := rec.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

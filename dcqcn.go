@@ -1,0 +1,121 @@
+// Package dcqcn is a faithful, self-contained reproduction of
+// "Congestion Control for Large-Scale RDMA Deployments" (Zhu et al.,
+// SIGCOMM 2015): the DCQCN congestion-control algorithm for RoCEv2, the
+// switch buffer-threshold engineering of its §4, the fluid model of its
+// §5, and a deterministic packet-level datacenter simulator (shared-
+// buffer switches with PFC and RED/ECN, RoCEv2 NICs, Clos topologies)
+// that regenerates every figure of its evaluation.
+//
+// The package is a facade: it re-exports the protocol types (Params, RP,
+// NP, the marking law), the analysis tools (fluid model, buffer plans)
+// and a small simulation API sufficient to reproduce the paper's
+// scenarios. The heavy machinery lives in internal/ packages; see
+// DESIGN.md for the system inventory.
+//
+// # Quick start
+//
+//	sim := dcqcn.NewStarNetwork(1, 3, dcqcn.DefaultOptions())
+//	a := sim.Host("H1").OpenFlow(sim.Host("H3").NodeID())
+//	b := sim.Host("H2").OpenFlow(sim.Host("H3").NodeID())
+//	a.PostMessage(10e6, nil)
+//	b.PostMessage(10e6, nil)
+//	sim.RunFor(20 * dcqcn.Millisecond)
+//
+// Both flows converge to ~19 Gb/s each: DCQCN fair-shares the 40 Gb/s
+// bottleneck without building deep queues.
+package dcqcn
+
+import (
+	"dcqcn/internal/buffercalc"
+	"dcqcn/internal/core"
+	"dcqcn/internal/fluid"
+	"dcqcn/internal/simtime"
+)
+
+// Time and rate units, re-exported so callers need only this package.
+type (
+	// Time is an absolute simulation timestamp (picoseconds).
+	Time = simtime.Time
+	// Duration is a span of simulated time (picoseconds).
+	Duration = simtime.Duration
+	// Rate is a transmission rate in bits per second.
+	Rate = simtime.Rate
+)
+
+// Unit constants.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+
+	Kbps = simtime.Kbps
+	Mbps = simtime.Mbps
+	Gbps = simtime.Gbps
+)
+
+// Params holds every DCQCN protocol tunable: the CP marking law (K_min,
+// K_max, P_max), the NP CNP interval, and the RP rate machine constants
+// (g, timers, byte counter, F, R_AI). See core.Params for field docs.
+type Params = core.Params
+
+// DefaultParams returns the production parameter set the paper deploys
+// (its Fig. 14 table).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// StrawmanParams returns the QCN/DCTCP-recommended starting point that
+// §5.2 shows cannot converge.
+func StrawmanParams() Params { return core.StrawmanParams() }
+
+// Clock abstracts timers for the protocol state machines, so RP and NP
+// can run inside the simulator, inside tests, or in a real control plane.
+type Clock = core.Clock
+
+// RP is the DCQCN reaction point (sender rate machine, Fig. 7).
+type RP = core.RP
+
+// NewRP creates a reaction point.
+func NewRP(params Params, clock Clock) *RP { return core.NewRP(params, clock) }
+
+// NP is the DCQCN notification point (receiver CNP generator, Fig. 6).
+type NP = core.NP
+
+// NewNP creates a notification point; send is invoked per generated CNP.
+func NewNP(params Params, clock Clock, send func()) *NP {
+	return core.NewNP(params, clock, send)
+}
+
+// SwitchSpec describes a shared-buffer switch for the §4 buffer
+// threshold calculations.
+type SwitchSpec = buffercalc.SwitchSpec
+
+// BufferPlan is a complete §4 threshold assignment.
+type BufferPlan = buffercalc.Plan
+
+// Arista7050QX32 returns the paper's testbed switch spec (32×40G,
+// 12 MB shared buffer, Trident II dynamic thresholds).
+func Arista7050QX32() SwitchSpec { return buffercalc.DefaultArista7050QX32() }
+
+// PlanBuffers computes headroom, PFC and ECN thresholds for a switch
+// with dynamic-threshold sharing factor beta (the paper uses 8).
+func PlanBuffers(spec SwitchSpec, beta float64) BufferPlan { return spec.Plan(beta) }
+
+// FluidConfig configures the §5 fluid model.
+type FluidConfig = fluid.Config
+
+// FluidResult holds fluid-model trajectories.
+type FluidResult = fluid.Result
+
+// FluidFixedPoint is the analytic equilibrium of the model.
+type FluidFixedPoint = fluid.FixedPointResult
+
+// DefaultFluidConfig returns the paper's two-flow convergence scenario.
+func DefaultFluidConfig() FluidConfig { return fluid.DefaultConfig() }
+
+// SolveFluid integrates the delay-differential equations (5)-(9).
+func SolveFluid(cfg FluidConfig) (*FluidResult, error) { return fluid.Solve(cfg) }
+
+// FluidEquilibrium solves the fixed point for nFlows greedy flows.
+func FluidEquilibrium(cfg FluidConfig, nFlows int) (FluidFixedPoint, error) {
+	return fluid.FixedPoint(cfg, nFlows)
+}

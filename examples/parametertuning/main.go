@@ -1,0 +1,53 @@
+// Parametertuning: the paper's §5 workflow. The fluid model predicts how
+// DCQCN parameters affect convergence and queueing, which is how the
+// deployed Fig. 14 values were chosen. This example sweeps the two
+// decisive knobs — the rate-increase timer and the marking profile —
+// with two flows starting at 40 and 5 Gb/s, then prints the analytic
+// equilibrium for the chosen set.
+package main
+
+import (
+	"fmt"
+
+	"dcqcn"
+)
+
+func converge(label string, params dcqcn.Params) {
+	cfg := dcqcn.DefaultFluidConfig()
+	cfg.Params = params
+	res, err := dcqcn.SolveFluid(cfg)
+	if err != nil {
+		panic(err)
+	}
+	last := len(res.Time) - 1
+	fmt.Printf("%-44s mean|r1-r2|=%6.2fG  final rates %.1fG / %.1fG\n",
+		label, res.RateDiff(0, 1, 0.01)/1e9,
+		res.Rates[0][last]/1e9, res.Rates[1][last]/1e9)
+}
+
+func main() {
+	fmt.Println("two flows at 40G and 5G, 200 ms of model time:")
+
+	converge("strawman (QCN/DCTCP defaults)", dcqcn.StrawmanParams())
+
+	fastTimer := dcqcn.StrawmanParams()
+	fastTimer.RateTimer = 55 * dcqcn.Microsecond
+	fastTimer.ByteCounter = 10e6
+	converge("strawman + 55us timer + 10MB byte counter", fastTimer)
+
+	red := dcqcn.StrawmanParams()
+	red.KMin, red.KMax, red.PMax = 5e3, 200e3, 0.01
+	converge("strawman + RED-like marking", red)
+
+	converge("deployed parameters (Fig. 14)", dcqcn.DefaultParams())
+
+	fmt.Println("\nanalytic equilibrium of the deployed parameters:")
+	for _, n := range []int{2, 10, 16} {
+		fp, err := dcqcn.FluidEquilibrium(dcqcn.DefaultFluidConfig(), n)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %2d flows: p*=%.4f%%  queue*=%.1f KB  alpha*=%.4f\n",
+			n, fp.P*100, fp.Queue/1000, fp.Alpha)
+	}
+}

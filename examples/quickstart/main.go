@@ -1,0 +1,44 @@
+// Quickstart: two senders share one 40 Gb/s bottleneck through a single
+// switch. DCQCN converges both flows to the fair share while keeping the
+// switch queue shallow and the fabric lossless.
+package main
+
+import (
+	"fmt"
+
+	"dcqcn"
+)
+
+func main() {
+	sim := dcqcn.NewStarNetwork(1, 3, dcqcn.DefaultOptions())
+	receiver := sim.Host("H3").NodeID()
+
+	flowA := sim.Host("H1").OpenFlow(receiver)
+	flowB := sim.Host("H2").OpenFlow(receiver)
+
+	// Keep both flows backlogged with 8 MB transfers.
+	var keep func(f *dcqcn.Flow) func(dcqcn.Completion)
+	keep = func(f *dcqcn.Flow) func(dcqcn.Completion) {
+		return func(dcqcn.Completion) { f.PostMessage(8e6, keep(f)) }
+	}
+	flowA.PostMessage(8e6, keep(flowA))
+	flowB.PostMessage(8e6, keep(flowB))
+
+	// Sample the paced rates every 5 ms.
+	fmt.Println("time      flowA        flowB        queue(SW->H3)")
+	sim.Every(5*dcqcn.Millisecond, func(now dcqcn.Time) {
+		fmt.Printf("%-8v  %-11v  %-11v  %d KB\n",
+			now, flowA.CurrentRate(), flowB.CurrentRate(),
+			sim.QueueLength("SW", 2)/1000)
+	})
+	sim.RunFor(50 * dcqcn.Millisecond)
+
+	fmt.Printf("\nafter 50ms: A sent %d MB, B sent %d MB, drops=%d, ECN marks=%d\n",
+		flowA.Stats().BytesSent/1_000_000, flowB.Stats().BytesSent/1_000_000,
+		sim.TotalDrops(), sim.Switch("SW").EcnMarked)
+
+	if rp := flowA.ReactionPoint(); rp != nil {
+		fmt.Printf("flow A reaction point: rate=%v target=%v alpha=%.4f\n",
+			rp.Rate(), rp.TargetRate(), rp.Alpha())
+	}
+}

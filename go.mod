@@ -1,0 +1,3 @@
+module dcqcn
+
+go 1.22

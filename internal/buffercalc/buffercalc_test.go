@@ -1,0 +1,167 @@
+package buffercalc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcqcn/internal/simtime"
+)
+
+// TestPaperNumbers checks the §4 arithmetic against the values published
+// in the paper for the Arista 7050QX32 testbed.
+func TestPaperNumbers(t *testing.T) {
+	spec := DefaultArista7050QX32()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "assuming a 1500 byte MTU, we get t_flight = 22.4KB per port, per
+	// priority."
+	if got := spec.Headroom(); got != 22400 {
+		t.Errorf("t_flight = %d B, paper says 22.4KB", got)
+	}
+
+	// "t_PFC <= (B − 8·n·t_flight)/(8n) ... we get t_PFC <= 24.47KB."
+	if got := spec.StaticPFCThreshold(); got != 24475 {
+		t.Errorf("t_PFC bound = %d B, paper says 24.47KB", got)
+	}
+
+	// "t_ECN < 0.8KB. This is less than one MTU and hence infeasible."
+	naive := spec.NaiveECNBound()
+	if naive != 24475/32 {
+		t.Errorf("naive ECN bound = %d B, want %d", naive, 24475/32)
+	}
+	if naive >= spec.MTUBytes {
+		t.Errorf("naive bound %d should be infeasible (< MTU)", naive)
+	}
+
+	// "we use β = 8, which leads to t_ECN < 21.75KB" (β/(β+1) of the
+	// static bound).
+	plan := spec.Plan(8)
+	if plan.ECNThreshold != 21755 {
+		t.Errorf("dynamic ECN bound = %d B, want 21755 (21.75KB)", plan.ECNThreshold)
+	}
+	if !plan.Feasible {
+		t.Error("β=8 plan should be feasible")
+	}
+	if plan.String() == "" {
+		t.Error("plan must render")
+	}
+}
+
+// TestDynamicThreshold checks the occupancy-dependent PAUSE threshold.
+func TestDynamicThreshold(t *testing.T) {
+	spec := DefaultArista7050QX32()
+	beta := 8.0
+	empty := spec.DynamicPFCThreshold(beta, 0)
+	// Empty buffer: β·usable/8 = 8·6.2656MB/8 = 6.2656MB per queue —
+	// i.e. PFC is effectively off while the buffer is free.
+	if empty != 6265600 {
+		t.Errorf("empty-buffer threshold = %d, want 6265600", empty)
+	}
+	// Threshold shrinks monotonically as the buffer fills.
+	half := spec.DynamicPFCThreshold(beta, spec.usable()/2)
+	full := spec.DynamicPFCThreshold(beta, spec.usable())
+	if !(empty > half && half > full) {
+		t.Errorf("threshold not monotone: %d, %d, %d", empty, half, full)
+	}
+	if full != 0 {
+		t.Errorf("full-buffer threshold = %d, want 0", full)
+	}
+	// Over-occupancy clamps at zero rather than going negative.
+	if got := spec.DynamicPFCThreshold(beta, spec.usable()*2); got != 0 {
+		t.Errorf("over-full threshold = %d, want 0", got)
+	}
+}
+
+// TestLargerBetaLeavesMoreECNRoom verifies "larger β leaves more room for
+// t_ECN" (§4).
+func TestLargerBetaLeavesMoreECNRoom(t *testing.T) {
+	spec := DefaultArista7050QX32()
+	prev := int64(0)
+	for _, beta := range []float64{1, 2, 4, 8, 16} {
+		got := spec.MaxECNThreshold(beta)
+		if got <= prev {
+			t.Errorf("β=%g: bound %d not larger than %d", beta, got, prev)
+		}
+		prev = got
+	}
+	// And the bound never reaches the static t_PFC (β/(β+1) < 1).
+	if got := spec.MaxECNThreshold(1e9); got > spec.StaticPFCThreshold() {
+		t.Errorf("bound %d exceeds static t_PFC %d", got, spec.StaticPFCThreshold())
+	}
+}
+
+// TestFewerPrioritiesMoreRoom: the paper notes thresholds differ "with
+// fewer priorities, or with larger switch buffers".
+func TestFewerPrioritiesMoreRoom(t *testing.T) {
+	spec := DefaultArista7050QX32()
+	spec.Priorities = 2
+	plan8 := DefaultArista7050QX32().Plan(8)
+	plan2 := spec.Plan(8)
+	if plan2.ECNThreshold <= plan8.ECNThreshold {
+		t.Errorf("2 priorities should allow a larger ECN threshold: %d vs %d",
+			plan2.ECNThreshold, plan8.ECNThreshold)
+	}
+	big := DefaultArista7050QX32()
+	big.BufferBytes *= 4
+	if big.Plan(8).ECNThreshold <= plan8.ECNThreshold {
+		t.Error("larger buffer should allow a larger ECN threshold")
+	}
+}
+
+// Property: for any sane spec, the guarantee the §4 derivation promises
+// holds — if every egress queue is below t_ECN, no ingress queue can have
+// crossed the dynamic PFC threshold.
+func TestQuickECNBeforePFC(t *testing.T) {
+	f := func(bufMB uint8, ports uint8, betaX uint8) bool {
+		spec := DefaultArista7050QX32()
+		spec.BufferBytes = (int64(bufMB%32) + 8) * 1000 * 1000 // 8..39 MB
+		spec.Ports = int(ports%63) + 2                         // 2..64
+		beta := float64(betaX%16) + 1                          // 1..16
+		if spec.Validate() != nil {
+			return true // infeasible spec: nothing to check
+		}
+		tECN := spec.MaxECNThreshold(beta)
+		// Worst case of the derivation: all egress backlog from one
+		// ingress queue, all n egress queues just below t_ECN.
+		occupied := int64(spec.Ports) * tECN
+		ingressQueue := occupied
+		return ingressQueue <= spec.DynamicPFCThreshold(beta, occupied)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := func(mutate func(*SwitchSpec)) SwitchSpec {
+		s := DefaultArista7050QX32()
+		mutate(&s)
+		return s
+	}
+	cases := []SwitchSpec{
+		bad(func(s *SwitchSpec) { s.BufferBytes = 0 }),
+		bad(func(s *SwitchSpec) { s.Ports = 0 }),
+		bad(func(s *SwitchSpec) { s.Priorities = 9 }),
+		bad(func(s *SwitchSpec) { s.LineRate = 0 }),
+		bad(func(s *SwitchSpec) { s.MTUBytes = 0 }),
+		bad(func(s *SwitchSpec) { s.CableDelay = -1 }),
+		bad(func(s *SwitchSpec) { s.BufferBytes = 1000 }), // headroom exceeds buffer
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec passed validation", i)
+		}
+	}
+}
+
+func TestHeadroomScalesWithRate(t *testing.T) {
+	spec := DefaultArista7050QX32()
+	h40 := spec.Headroom()
+	spec.LineRate = 10 * simtime.Gbps
+	h10 := spec.Headroom()
+	if h10 >= h40 {
+		t.Errorf("headroom should shrink with line rate: 10G=%d, 40G=%d", h10, h40)
+	}
+}

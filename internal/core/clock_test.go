@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sort"
+
+	"dcqcn/internal/simtime"
+)
+
+// fakeClock is a manual test clock implementing Clock.
+type fakeClock struct {
+	now    simtime.Time
+	seq    int
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at        simtime.Time
+	seq       int
+	fn        func()
+	cancelled bool
+}
+
+func (c *fakeClock) Now() simtime.Time { return c.now }
+
+func (c *fakeClock) After(d simtime.Duration, fn func()) func() {
+	t := &fakeTimer{at: c.now.Add(d), seq: c.seq, fn: fn}
+	c.seq++
+	c.timers = append(c.timers, t)
+	return func() { t.cancelled = true }
+}
+
+// advance moves the clock to target, firing due timers in order.
+func (c *fakeClock) advance(d simtime.Duration) {
+	target := c.now.Add(d)
+	for {
+		var next *fakeTimer
+		for _, t := range c.timers {
+			if t.cancelled || t.at > target {
+				continue
+			}
+			if next == nil || t.at < next.at || (t.at == next.at && t.seq < next.seq) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		c.now = next.at
+		next.cancelled = true
+		next.fn()
+		c.compact()
+	}
+	c.now = target
+}
+
+func (c *fakeClock) compact() {
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.cancelled {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	sort.SliceStable(c.timers, func(i, j int) bool { return c.timers[i].at < c.timers[j].at })
+}
+
+func (c *fakeClock) pending() int {
+	n := 0
+	for _, t := range c.timers {
+		if !t.cancelled {
+			n++
+		}
+	}
+	return n
+}

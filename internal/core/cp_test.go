@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkingProbabilityRED(t *testing.T) {
+	p := DefaultParams() // KMin=5KB, KMax=200KB, PMax=1%
+	cases := []struct {
+		q    int64
+		want float64
+	}{
+		{0, 0},
+		{5000, 0},                   // exactly KMin: no marking
+		{102500, 0.005},             // midpoint: PMax/2
+		{200000, 0.01},              // exactly KMax: PMax
+		{200001, 1},                 // beyond KMax: everything marked
+		{1 << 40, 1},                // far beyond
+		{-5, 0},                     // defensive: negative queue
+		{5000 + 195000/4, 0.0025},   // quarter point
+		{5000 + 3*195000/4, 0.0075}, // three-quarter point
+	}
+	for _, c := range cases {
+		got := p.MarkingProbability(c.q)
+		if diff := got - c.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("p(%d) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMarkingProbabilityCutoff(t *testing.T) {
+	p := DefaultParams().WithCutoffMarking(40 * 1000)
+	if got := p.MarkingProbability(40000); got != 0 {
+		t.Errorf("at threshold: p=%g, want 0", got)
+	}
+	if got := p.MarkingProbability(40001); got != 1 {
+		t.Errorf("just above threshold: p=%g, want 1", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("cutoff params should validate: %v", err)
+	}
+}
+
+// Property: the marking law is monotone in queue length and bounded [0,1].
+func TestQuickMarkingMonotone(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint32) bool {
+		qa, qb := int64(a), int64(b)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		pa, pb := p.MarkingProbability(qa), p.MarkingProbability(qb)
+		return pa <= pb && pa >= 0 && pb <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPStatisticalMarking(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(7))
+	cp := NewCP(p, rng.Float64)
+	// Queue pinned at the midpoint: expect ~0.5% marks.
+	const n = 200000
+	marked := 0
+	for i := 0; i < n; i++ {
+		if cp.ShouldMark(102500) {
+			marked++
+		}
+	}
+	got := float64(marked) / n
+	if got < 0.004 || got > 0.006 {
+		t.Errorf("marked fraction %g, want ~0.005", got)
+	}
+	if cp.Seen != n || cp.Marked != int64(marked) {
+		t.Errorf("counters seen=%d marked=%d", cp.Seen, cp.Marked)
+	}
+}
+
+func TestCPDeterministicRegions(t *testing.T) {
+	cp := NewCP(DefaultParams(), func() float64 { panic("rand must not be consulted") })
+	if cp.ShouldMark(1000) {
+		t.Error("marked below KMin")
+	}
+	if !cp.ShouldMark(300000) {
+		t.Error("did not mark above KMax")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if err := StrawmanParams().Validate(); err != nil {
+		t.Fatalf("strawman params invalid: %v", err)
+	}
+	bad := func(mutate func(*Params)) Params {
+		p := DefaultParams()
+		mutate(&p)
+		return p
+	}
+	cases := []Params{
+		bad(func(p *Params) { p.KMax = p.KMin - 1 }),
+		bad(func(p *Params) { p.PMax = 0 }),
+		bad(func(p *Params) { p.PMax = 1.5 }),
+		bad(func(p *Params) { p.G = 0 }),
+		bad(func(p *Params) { p.G = 1 }),
+		bad(func(p *Params) { p.CNPInterval = 0 }),
+		bad(func(p *Params) { p.AlphaTimer = p.CNPInterval - 1 }),
+		bad(func(p *Params) { p.RateTimer = p.CNPInterval - 1 }),
+		bad(func(p *Params) { p.ByteCounter = 0 }),
+		bad(func(p *Params) { p.F = 0 }),
+		bad(func(p *Params) { p.RAI = 0 }),
+		bad(func(p *Params) { p.MinRate = 0 }),
+		bad(func(p *Params) { p.LineRate = p.MinRate }),
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params passed validation", i)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package dctcp
+
+import (
+	"testing"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/engine"
+	"dcqcn/internal/fabric"
+	"dcqcn/internal/link"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/simtime"
+)
+
+// dctcpSwitchConfig marks at the DCTCP guideline threshold (K ≈ 160KB at
+// 40G) with cut-off marking, per §6.3.
+func dctcpSwitchConfig() fabric.Config {
+	cfg := fabric.DefaultConfig()
+	cfg.Marking = core.DefaultParams().WithCutoffMarking(160 * 1000)
+	return cfg
+}
+
+func rig(seed int64, n int, hostCfg Config, swCfg fabric.Config) (*engine.Sim, *fabric.Switch, []*Host) {
+	return rigDelay(seed, n, hostCfg, swCfg, 500*simtime.Nanosecond)
+}
+
+func rigDelay(seed int64, n int, hostCfg Config, swCfg fabric.Config, delay simtime.Duration) (*engine.Sim, *fabric.Switch, []*Host) {
+	sim := engine.New(seed)
+	sw := fabric.New(sim, 1000, "sw", n, swCfg)
+	var hosts []*Host
+	for i := 0; i < n; i++ {
+		h := New(sim, packet.NodeID(i+1), "h", hostCfg)
+		link.Connect(sim, h.Port(), sw.Port(i), delay)
+		sw.AddRoute(h.ID, i)
+		hosts = append(hosts, h)
+	}
+	return sim, sw, hosts
+}
+
+func TestSingleTransferCompletes(t *testing.T) {
+	sim, sw, hosts := rig(1, 2, DefaultConfig(), dctcpSwitchConfig())
+	done := false
+	f := hosts[0].StartTransfer(2, 10*1000*1000, func() { done = true })
+	sim.Run(simtime.Time(50 * simtime.Millisecond))
+	if !done {
+		t.Fatal("10MB DCTCP transfer did not complete in 50ms")
+	}
+	if sw.Stats.Drops != 0 {
+		t.Fatal("drops on an uncongested DCTCP path")
+	}
+	if st := f.Stats(); st.BytesAcked < 10*1000*1000 {
+		t.Fatalf("acked %d bytes", st.BytesAcked)
+	}
+}
+
+func TestSlowStartDelaysShortTransfers(t *testing.T) {
+	// The §2.3 claim: slow start hurts bursty storage workloads. At a
+	// 40 µs software-stack RTT (BDP ≈ 130 packets > InitCwnd), a 100KB
+	// transfer with slow start needs several RTT doublings; without it
+	// (full window at t=0), it finishes much sooner.
+	run := func(slowStart bool) simtime.Time {
+		cfg := DefaultConfig()
+		cfg.SlowStart = slowStart
+		sim, _, hosts := rigDelay(2, 2, cfg, dctcpSwitchConfig(), 10*simtime.Microsecond)
+		var doneAt simtime.Time
+		hosts[0].StartTransfer(2, 100*1000, func() { doneAt = sim.Now() })
+		sim.Run(simtime.Time(100 * simtime.Millisecond))
+		if doneAt == 0 {
+			t.Fatal("transfer did not complete")
+		}
+		return doneAt
+	}
+	withSS := run(true)
+	withoutSS := run(false)
+	if withoutSS*2 >= withSS {
+		t.Fatalf("slow start %v vs fast start %v: slow start should be at least 2x slower",
+			withSS, withoutSS)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	sim, sw, hosts := rig(3, 3, DefaultConfig(), dctcpSwitchConfig())
+	f1 := hosts[0].StartTransfer(3, 40*1000*1000, nil)
+	f2 := hosts[1].StartTransfer(3, 40*1000*1000, nil)
+	sim.Run(simtime.Time(15 * simtime.Millisecond))
+	b1, b2 := f1.Stats().BytesAcked, f2.Stats().BytesAcked
+	if b1 == 0 || b2 == 0 {
+		t.Fatal("a flow starved")
+	}
+	if b1 > 2*b2 || b2 > 2*b1 {
+		t.Fatalf("unfair split %d vs %d", b1, b2)
+	}
+	if f1.Stats().Cuts == 0 && f2.Stats().Cuts == 0 {
+		t.Fatal("no ECN-driven cuts despite congestion")
+	}
+	if sw.Stats.EcnMarked == 0 {
+		t.Fatal("switch never marked")
+	}
+	if sw.Stats.Drops != 0 {
+		t.Fatal("drops with PFC enabled")
+	}
+}
+
+func TestAlphaTracksMarkedFraction(t *testing.T) {
+	// Under persistent congestion (many flows), alpha must move off zero;
+	// after congestion ends it decays.
+	sim, _, hosts := rig(4, 5, DefaultConfig(), dctcpSwitchConfig())
+	var flows []*Flow
+	for i := 0; i < 4; i++ {
+		flows = append(flows, hosts[i].StartTransfer(5, 30*1000*1000, nil))
+	}
+	sim.Run(simtime.Time(10 * simtime.Millisecond))
+	anyAlpha := false
+	for _, f := range flows {
+		if f.Stats().Alpha > 0.01 {
+			anyAlpha = true
+		}
+	}
+	if !anyAlpha {
+		t.Fatal("alpha stayed ~0 under 4:1 incast")
+	}
+}
+
+func TestRTORecovery(t *testing.T) {
+	// Remove PFC and shrink the buffer so drops occur; RTO must still
+	// complete the transfer.
+	swCfg := dctcpSwitchConfig()
+	swCfg.PFCEnabled = false
+	swCfg.Spec.BufferBytes = 100 * 1000
+	cfg := DefaultConfig()
+	cfg.RTO = 500 * simtime.Microsecond
+	sim, sw, hosts := rig(5, 3, cfg, swCfg)
+	done := 0
+	hosts[0].StartTransfer(3, 5*1000*1000, func() { done++ })
+	hosts[1].StartTransfer(3, 5*1000*1000, func() { done++ })
+	sim.Run(simtime.Time(200 * simtime.Millisecond))
+	if done != 2 {
+		t.Fatalf("%d of 2 transfers completed under loss", done)
+	}
+	if sw.Stats.Drops == 0 {
+		t.Fatal("test expected drops to exercise RTO")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.LineRate = 0 },
+		func(c *Config) { c.MTU = 0 },
+		func(c *Config) { c.G = 1 },
+		func(c *Config) { c.InitCwnd = 0 },
+		func(c *Config) { c.MaxCwnd = c.InitCwnd - 1 },
+		func(c *Config) { c.RTO = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d passed validation", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"testing"
+
+	"dcqcn/internal/simtime"
+)
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []simtime.Time
+	for _, at := range []simtime.Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	n := s.Run(25)
+	if n != 2 {
+		t.Fatalf("executed %d events, want 2", n)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("clock at %v, want 25 (advanced to horizon)", s.Now())
+	}
+	n = s.Run(40)
+	if n != 2 {
+		t.Fatalf("second run executed %d events, want 2", n)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestEventAtHorizonFires(t *testing.T) {
+	s := New(1)
+	hit := false
+	s.At(100, func() { hit = true })
+	s.Run(100)
+	if !hit {
+		t.Fatal("event scheduled exactly at horizon did not fire")
+	}
+}
+
+func TestSchedulingInsideEvent(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(10, func() {
+		order = append(order, 1)
+		s.After(5, func() { order = append(order, 2) })
+		s.At(s.Now(), func() { order = append(order, 3) }) // same-time chaining allowed
+	})
+	s.RunAll()
+	want := []int{1, 3, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.RunAll()
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(simtime.Time(i), func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run(100)
+	if count != 3 {
+		t.Fatalf("halt: executed %d events, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending %d, want 7", s.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var ticks []simtime.Time
+	stop := s.Ticker(10, func(now simtime.Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 5 {
+			// stop from within the callback
+		}
+	})
+	s.At(45, func() { stop() })
+	s.Run(1000)
+	if len(ticks) != 4 {
+		t.Fatalf("got %d ticks, want 4 (10,20,30,40)", len(ticks))
+	}
+	for i, at := range []simtime.Time{10, 20, 30, 40} {
+		if ticks[i] != at {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], at)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		s := New(99)
+		var draws []int64
+		for i := 0; i < 50; i++ {
+			s.After(simtime.Duration(i), func() { draws = append(draws, s.Rand().Int63()) })
+		}
+		s.RunAll()
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestCancelTimer(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(50, func() { fired = true })
+	s.At(10, func() { s.Cancel(e) })
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}

@@ -1,0 +1,133 @@
+// Package eventq provides the deterministic priority queue that drives the
+// discrete-event simulator.
+//
+// Events are ordered by timestamp; events with equal timestamps fire in the
+// order they were scheduled (FIFO). This tie-break rule is what makes whole
+// simulations reproducible: two runs with the same inputs execute exactly
+// the same event sequence.
+package eventq
+
+import "dcqcn/internal/simtime"
+
+// Event is a callback scheduled to run at a point in simulated time.
+type Event struct {
+	At simtime.Time
+	Fn func()
+
+	seq   uint64 // insertion order, breaks timestamp ties
+	index int    // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been removed from the queue
+// (either cancelled or already fired).
+func (e *Event) Cancelled() bool { return e == nil || e.index < 0 }
+
+// Queue is a binary min-heap of events. The zero value is an empty queue
+// ready for use. Queue is not safe for concurrent use; the simulator is
+// single-threaded by design.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fn at time at and returns a handle that can be passed to
+// Cancel.
+func (q *Queue) Push(at simtime.Time, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+	return e
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *Queue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *Queue) Peek() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Cancel removes a pending event from the queue. Cancelling a nil, fired,
+// or already-cancelled event is a no-op, so callers can cancel timers
+// unconditionally.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	i := e.index
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+	e.index = -1
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.swap(i, least)
+		i = least
+	}
+}

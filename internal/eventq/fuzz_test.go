@@ -1,0 +1,64 @@
+package eventq
+
+import (
+	"testing"
+
+	"dcqcn/internal/simtime"
+)
+
+// FuzzQueueOperations drives the heap with an arbitrary op tape and
+// checks pops are always the pending minimum.
+func FuzzQueueOperations(f *testing.F) {
+	f.Add([]byte{1, 5, 200, 0, 3, 0, 255, 9})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 512 {
+			t.Skip()
+		}
+		var q Queue
+		pending := map[*Event]simtime.Time{}
+		var handles []*Event
+		for i := 0; i < len(tape); i++ {
+			op := tape[i]
+			switch {
+			case op < 170: // push with time from the next byte
+				at := simtime.Time(op)
+				if i+1 < len(tape) {
+					at = simtime.Time(tape[i+1])
+				}
+				e := q.Push(at, func() {})
+				pending[e] = at
+				handles = append(handles, e)
+			case op < 220: // pop and verify minimality
+				e := q.Pop()
+				if len(pending) == 0 {
+					if e != nil {
+						t.Fatal("pop from empty returned event")
+					}
+					continue
+				}
+				if e == nil {
+					t.Fatal("pop returned nil with pending events")
+				}
+				min := simtime.Forever
+				for _, at := range pending {
+					if at < min {
+						min = at
+					}
+				}
+				if e.At != min {
+					t.Fatalf("pop %d, min pending %d", e.At, min)
+				}
+				delete(pending, e)
+			default: // cancel a random live handle
+				if len(handles) > 0 {
+					victim := handles[int(op)%len(handles)]
+					q.Cancel(victim)
+					delete(pending, victim)
+				}
+			}
+		}
+		if q.Len() != len(pending) {
+			t.Fatalf("queue length %d, tracked %d", q.Len(), len(pending))
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/dctcp"
+	"dcqcn/internal/engine"
+	"dcqcn/internal/fabric"
+	"dcqcn/internal/link"
+	"dcqcn/internal/nic"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/rocev2"
+	"dcqcn/internal/simtime"
+	"dcqcn/internal/stats"
+	"dcqcn/internal/topology"
+)
+
+// AblationResult is a generic labelled metric set.
+type AblationResult struct {
+	Label   string
+	Metrics map[string]float64
+}
+
+// AblationTable renders a list of ablation results with the given metric
+// columns.
+func AblationTable(results []AblationResult, metrics ...string) string {
+	t := stats.Table{Header: append([]string{"variant"}, metrics...)}
+	for _, r := range results {
+		row := []string{r.Label}
+		for _, m := range metrics {
+			row = append(row, fmt.Sprintf("%.3f", r.Metrics[m]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// twoFlowConvergence runs the two-sender star microbenchmark with the
+// given parameters and NIC tweaks, returning mean |r1−r2| (Gb/s) and the
+// aggregate goodput (Gb/s) over the measured window.
+func twoFlowConvergence(params core.Params, fid Fidelity, tweak func(*topology.Options)) (diff, total float64) {
+	opts := options(ModeDCQCN, 9)
+	opts.NIC.Controller = nic.DCQCNFactory(params)
+	opts.Switch.Marking = params
+	if tweak != nil {
+		tweak(&opts)
+	}
+	net := topology.NewStar(123, 3, opts)
+	open := openFlow(net)
+	f1, f2 := open("H1", "H3"), open("H2", "H3")
+	repostLoop(f1, 8*1000*1000, func(rocev2.Completion) {})
+	net.Sim.At(simtime.Time(5*simtime.Millisecond), func() {
+		repostLoop(f2, 8*1000*1000, func(rocev2.Completion) {})
+	})
+	var r1, r2 stats.Series
+	warm := 5*simtime.Millisecond + fid.Warmup
+	net.Sim.Ticker(100*simtime.Microsecond, func(now simtime.Time) {
+		if now >= simtime.Time(warm) {
+			r1.Add(now.Seconds(), float64(f1.CurrentRate()))
+			r2.Add(now.Seconds(), float64(f2.CurrentRate()))
+		}
+	})
+	var base int64
+	net.Sim.At(simtime.Time(warm), func() { base = f1.Stats().BytesSent + f2.Stats().BytesSent })
+	net.Sim.Run(simtime.Time(warm + fid.Duration))
+	sent := f1.Stats().BytesSent + f2.Stats().BytesSent - base
+	return gbps(stats.MeanAbsDiff(&r1, &r2)), gbps(float64(simtime.RateFromBytes(sent, fid.Duration)))
+}
+
+// AblationTimerVsByteCounter contrasts byte-counter-dominated recovery
+// (the QCN default that breaks convergence, §5.2) with timer-dominated
+// recovery (the paper's fix) in the packet simulator.
+func AblationTimerVsByteCounter(fid Fidelity) []AblationResult {
+	var out []AblationResult
+	cases := []struct {
+		label string
+		bc    int64
+		timer simtime.Duration
+	}{
+		{"byte-counter dominated (B=150KB, T=1.5ms)", 150e3, 1500 * simtime.Microsecond},
+		{"timer dominated (B=10MB, T=55us)", 10e6, 55 * simtime.Microsecond},
+	}
+	for _, c := range cases {
+		p := core.DefaultParams()
+		p.ByteCounter = c.bc
+		p.RateTimer = c.timer
+		diff, total := twoFlowConvergence(p, fid, nil)
+		out = append(out, AblationResult{Label: c.label, Metrics: map[string]float64{
+			"mean |r1-r2| (Gbps)": diff, "total (Gbps)": total,
+		}})
+	}
+	return out
+}
+
+// AblationG compares g = 1/16 vs 1/256 in the packet simulator (the
+// fluid-model counterpart is Fig12AlphaGain): queue length statistics
+// under 16:1 incast.
+func AblationG(fid Fidelity) []AblationResult {
+	var out []AblationResult
+	for _, g := range []float64{1.0 / 16, 1.0 / 256} {
+		p := core.DefaultParams()
+		p.G = g
+		opts := options(ModeDCQCN, 4)
+		opts.NIC.Controller = nic.DCQCNFactory(p)
+		opts.Switch.Marking = p
+		const degree = 16
+		net := topology.NewStar(55, degree+1, opts)
+		open := openFlow(net)
+		recv := fmt.Sprintf("H%d", degree+1)
+		for i := 1; i <= degree; i++ {
+			repostLoop(open(fmt.Sprintf("H%d", i), recv), 8*1000*1000, func(rocev2.Completion) {})
+		}
+		sw := net.Switch("SW")
+		var queue stats.Sample
+		warmEnd := simtime.Time(fid.Warmup)
+		net.Sim.Ticker(10*simtime.Microsecond, func(now simtime.Time) {
+			if now >= warmEnd {
+				queue.Add(float64(sw.EgressQueue(degree, packet.PrioData)))
+			}
+		})
+		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+		out = append(out, AblationResult{
+			Label: fmt.Sprintf("g=1/%d", int(1/g)),
+			Metrics: map[string]float64{
+				"queue p50 (KB)": queue.Median() / 1000,
+				"queue p99 (KB)": queue.Percentile(99) / 1000,
+				"queue sd (KB)":  queue.Stddev() / 1000,
+			},
+		})
+	}
+	return out
+}
+
+// AblationFastStart compares the FCT of a bursty short transfer under
+// DCQCN (which starts at line rate) against DCTCP (which slow starts) on
+// an otherwise idle fabric — the design rationale of §3.1(iii). The
+// 10 µs host link delay models the software stack RTT DCTCP pays.
+func AblationFastStart() []AblationResult {
+	const size = 500 * 1000
+	var out []AblationResult
+
+	{
+		opts := options(ModeDCQCN, 5)
+		opts.HostLinkDelay = 10 * simtime.Microsecond
+		net := topology.NewStar(66, 2, opts)
+		var fct simtime.Duration
+		net.Host("H1").OpenFlow(net.Host("H2").ID).PostMessage(size, func(c rocev2.Completion) {
+			fct = c.Duration()
+		})
+		net.Sim.Run(simtime.Time(50 * simtime.Millisecond))
+		out = append(out, AblationResult{Label: "DCQCN (line-rate start)",
+			Metrics: map[string]float64{"FCT (us)": fct.Microseconds()}})
+	}
+	{
+		sim := engine.New(67)
+		swCfg := fabric.DefaultConfig()
+		swCfg.Marking = core.DefaultParams().WithCutoffMarking(160 * 1000)
+		sw := fabric.New(sim, 1000, "SW", 2, swCfg)
+		a := dctcp.New(sim, 1, "H1", dctcp.DefaultConfig())
+		b := dctcp.New(sim, 2, "H2", dctcp.DefaultConfig())
+		link.Connect(sim, a.Port(), sw.Port(0), 10*simtime.Microsecond)
+		link.Connect(sim, b.Port(), sw.Port(1), 10*simtime.Microsecond)
+		sw.AddRoute(1, 0)
+		sw.AddRoute(2, 1)
+		start := sim.Now()
+		var fct simtime.Duration
+		a.StartTransfer(2, size, func() { fct = sim.Now().Sub(start) })
+		sim.Run(simtime.Time(50 * simtime.Millisecond))
+		out = append(out, AblationResult{Label: "DCTCP (slow start)",
+			Metrics: map[string]float64{"FCT (us)": fct.Microseconds()}})
+	}
+	return out
+}
+
+// AblationCNPPriority compares sending CNPs on the high-priority class
+// (the paper's choice, §3.3) against the data class, where congestion
+// delays the congestion feedback itself.
+func AblationCNPPriority(fid Fidelity) []AblationResult {
+	var out []AblationResult
+	for _, prio := range []uint8{packet.PrioControl, packet.PrioData} {
+		label := "CNP on high-priority class"
+		if prio == packet.PrioData {
+			label = "CNP on data class"
+		}
+		p := core.DefaultParams()
+		diff, total := twoFlowConvergence(p, fid, func(o *topology.Options) {
+			o.NIC.CNPPriority = prio
+		})
+		out = append(out, AblationResult{Label: label, Metrics: map[string]float64{
+			"mean |r1-r2| (Gbps)": diff, "total (Gbps)": total,
+		}})
+	}
+	return out
+}
+
+// AblationRAI examines R_AI and incast scale (§5.2): with 32:1 incast,
+// halving R_AI trades convergence speed for less aggressive overshoot.
+func AblationRAI(fid Fidelity) []AblationResult {
+	var out []AblationResult
+	for _, rai := range []simtime.Rate{40 * simtime.Mbps, 20 * simtime.Mbps} {
+		p := core.DefaultParams()
+		p.RAI = rai
+		opts := options(ModeDCQCN, 6)
+		opts.NIC.Controller = nic.DCQCNFactory(p)
+		opts.Switch.Marking = p
+		const degree = 32
+		net := topology.NewStar(88, degree+1, opts)
+		open := openFlow(net)
+		recv := fmt.Sprintf("H%d", degree+1)
+		for i := 1; i <= degree; i++ {
+			repostLoop(open(fmt.Sprintf("H%d", i), recv), 8*1000*1000, func(rocev2.Completion) {})
+		}
+		sw := net.Switch("SW")
+		var queue stats.Sample
+		warmEnd := simtime.Time(fid.Warmup)
+		net.Sim.Ticker(10*simtime.Microsecond, func(now simtime.Time) {
+			if now >= warmEnd {
+				queue.Add(float64(sw.EgressQueue(degree, packet.PrioData)))
+			}
+		})
+		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+		out = append(out, AblationResult{
+			Label: fmt.Sprintf("R_AI=%v", rai),
+			Metrics: map[string]float64{
+				"queue p50 (KB)": queue.Median() / 1000,
+				"queue p99 (KB)": queue.Percentile(99) / 1000,
+				"pauses":         float64(sw.PauseSentTotal()),
+			},
+		})
+	}
+	return out
+}

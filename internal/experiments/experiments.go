@@ -1,0 +1,157 @@
+// Package experiments reproduces every table and figure of the DCQCN
+// paper's evaluation on the simulated testbed. Each experiment is a
+// function returning a typed result with the numbers the paper plots,
+// plus a rendered table; cmd/dcqcn-experiments prints them and
+// bench_test.go regenerates them under `go test -bench`.
+//
+// The per-experiment index lives in DESIGN.md; paper-vs-measured values
+// are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/nic"
+	"dcqcn/internal/rocev2"
+	"dcqcn/internal/simtime"
+	"dcqcn/internal/topology"
+)
+
+// Mode selects the end-to-end configuration under test — the four bars
+// of Fig. 18 and the two of most other figures.
+type Mode int
+
+// Modes.
+const (
+	// ModePFCOnly is the paper's "No DCQCN" baseline: uncontrolled
+	// line-rate RoCEv2 over PFC, no ECN marking, no CNPs.
+	ModePFCOnly Mode = iota
+	// ModeDCQCN is the deployed configuration: Fig. 14 parameters,
+	// dynamic PFC thresholds per §4.
+	ModeDCQCN
+	// ModeDCQCNNoPFC disables PFC entirely (Fig. 18): packet loss returns.
+	ModeDCQCNNoPFC
+	// ModeDCQCNMisconfigured keeps PFC but uses the static t_PFC upper
+	// bound with a 120 KB ECN threshold, so PFC can fire before ECN
+	// (Fig. 18).
+	ModeDCQCNMisconfigured
+)
+
+// String names the mode as the paper's legends do.
+func (m Mode) String() string {
+	switch m {
+	case ModePFCOnly:
+		return "No DCQCN"
+	case ModeDCQCN:
+		return "DCQCN"
+	case ModeDCQCNNoPFC:
+		return "DCQCN without PFC"
+	case ModeDCQCNMisconfigured:
+		return "DCQCN (Misconfigured)"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Fidelity scales experiment cost: Quick keeps unit tests and benches
+// fast; Full approaches the paper's statistical weight.
+type Fidelity struct {
+	// Duration of each measured run.
+	Duration simtime.Duration
+	// Warmup excluded from measurement (DCQCN's alpha-decay transient).
+	Warmup simtime.Duration
+	// Runs is the number of random repetitions (seeds) per data point.
+	Runs int
+}
+
+// Quick returns the fidelity used by tests and benchmarks.
+func Quick() Fidelity {
+	return Fidelity{Duration: 30 * simtime.Millisecond, Warmup: 10 * simtime.Millisecond, Runs: 2}
+}
+
+// Full returns the fidelity used for EXPERIMENTS.md numbers.
+func Full() Fidelity {
+	return Fidelity{Duration: 100 * simtime.Millisecond, Warmup: 30 * simtime.Millisecond, Runs: 5}
+}
+
+// options builds topology options for a mode. ECMP seed base is set per
+// run by the caller.
+func options(mode Mode, seedBase uint64) topology.Options {
+	opts := topology.DefaultOptions()
+	opts.ECMPSeedBase = seedBase
+	// Real RoCEv2 NICs have no congestion window: an uncontrolled sender
+	// keeps the wire full until PFC back-pressures its own port. The
+	// congestion-spreading experiments need that behaviour, so the
+	// transport window is raised far beyond any path's buffering.
+	opts.NIC.Transport.WindowPackets = 16384
+	// RoCE NICs of the ConnectX-3 era recover from loss only via long
+	// transport retransmission timeouts; 16 ms is a conservative stand-in
+	// (real firmware timeouts ran into hundreds of ms). With PFC the
+	// timer never fires; without it, this is why the paper's Fig. 18
+	// shows flows that effectively never recover.
+	opts.NIC.Transport.RTO = 16 * simtime.Millisecond
+	params := core.DefaultParams()
+	switch mode {
+	case ModePFCOnly:
+		opts.NIC.Controller = nic.FixedRateFactory(40 * simtime.Gbps)
+		opts.NIC.NPEnabled = false
+		opts.Switch.Marking.KMin = 1 << 40 // marking off
+		opts.Switch.Marking.KMax = 1 << 40
+	case ModeDCQCN:
+		opts.NIC.Controller = nic.DCQCNFactory(params)
+		opts.Switch.Marking = params
+	case ModeDCQCNNoPFC:
+		opts.NIC.Controller = nic.DCQCNFactory(params)
+		opts.Switch.Marking = params
+		opts.Switch.PFCEnabled = false
+	case ModeDCQCNMisconfigured:
+		opts.NIC.Controller = nic.DCQCNFactory(params)
+		// Static threshold at the §4 upper bound, ECN at 120 KB (~5x):
+		// ECN-before-PFC is no longer guaranteed.
+		opts.Switch.StaticPFCThreshold = 24475
+		m := params
+		m.KMin = 120 * 1000
+		m.KMax = 200 * 1000
+		opts.Switch.Marking = m
+	}
+	return opts
+}
+
+// openFlow is the workload adapter for a built network.
+func openFlow(net *topology.Network) func(src, dst string) *nic.Flow {
+	return func(src, dst string) *nic.Flow {
+		return net.Host(src).OpenFlow(net.Host(dst).ID)
+	}
+}
+
+// gbps converts a bits/second float to Gb/s for reporting.
+func gbps(v float64) float64 { return v / 1e9 }
+
+// repostLoop keeps a flow backlogged with fixed-size chunks, recording
+// per-transfer throughput into the sample via the given callback.
+func repostLoop(flow *nic.Flow, size int64, record func(rocev2.Completion)) {
+	var post func()
+	post = func() {
+		flow.PostMessage(size, func(c rocev2.Completion) {
+			record(c)
+			post()
+		})
+	}
+	post()
+}
+
+// totalDrops sums drops across all switches of a network.
+func totalDrops(net *topology.Network) int64 {
+	var n int64
+	for _, sw := range net.Switches {
+		n += sw.Stats.Drops
+	}
+	return n
+}
+
+// spinePauseCount sums XOFF frames received at the spine switches — the
+// Fig. 15 metric.
+func spinePauseCount(net *topology.Network) int64 {
+	return net.Switch("S1").PauseReceived() + net.Switch("S2").PauseReceived()
+}

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dcqcn/internal/simtime"
+)
+
+// tiny returns a minimal fidelity so the full experiment suite stays
+// test-friendly; the claims checked here are ordinal, not quantitative.
+func tiny() Fidelity {
+	return Fidelity{Duration: 15 * simtime.Millisecond, Warmup: 8 * simtime.Millisecond, Runs: 1}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []Mode{ModePFCOnly, ModeDCQCN, ModeDCQCNNoPFC, ModeDCQCNMisconfigured} {
+		if m.String() == "" || strings.HasPrefix(m.String(), "Mode(") {
+			t.Errorf("mode %d has no name", m)
+		}
+	}
+	if Mode(99).String() != "Mode(99)" {
+		t.Error("unknown mode should render numerically")
+	}
+}
+
+// TestFig3vs8 checks the headline of Figs. 3 and 8: with PFC alone H4
+// beats H1-H3 substantially; with DCQCN the advantage mostly disappears.
+func TestFig3vs8(t *testing.T) {
+	pfc := Unfairness(ModePFCOnly, tiny())
+	dcqcn := Unfairness(ModeDCQCN, tiny())
+	if adv := pfc.H4Advantage(); adv < 1.5 {
+		t.Errorf("PFC-only H4 advantage %.2f, want > 1.5 (parking lot)", adv)
+	}
+	if adv := dcqcn.H4Advantage(); adv > 1.4 {
+		t.Errorf("DCQCN H4 advantage %.2f, want ~1 (fair)", adv)
+	}
+	if pfc.H4Advantage() <= dcqcn.H4Advantage() {
+		t.Error("DCQCN must reduce the unfairness")
+	}
+	if pfc.Table() == "" || dcqcn.Table() == "" {
+		t.Error("tables must render")
+	}
+}
+
+// TestFig4vs9 checks the victim-flow claims: with PFC alone, the victim
+// loses throughput as remote congestion grows; with DCQCN it does not.
+func TestFig4vs9(t *testing.T) {
+	pfc := VictimFlow(ModePFCOnly, []int{0, 2}, tiny())
+	dcqcn := VictimFlow(ModeDCQCN, []int{0, 2}, tiny())
+	// PFC-only: adding T3 senders (whose paths don't overlap the victim)
+	// still hurts the victim.
+	if !(pfc.VictimMed[1] < pfc.VictimMed[0]) {
+		t.Errorf("PFC-only victim: %.2f -> %.2f, want degradation", pfc.VictimMed[0], pfc.VictimMed[1])
+	}
+	// DCQCN: victim throughput roughly unchanged and far above PFC-only.
+	if dcqcn.VictimMed[1] < dcqcn.VictimMed[0]*0.7 {
+		t.Errorf("DCQCN victim degraded: %.2f -> %.2f", dcqcn.VictimMed[0], dcqcn.VictimMed[1])
+	}
+	if dcqcn.VictimMed[1] < 2*pfc.VictimMed[1] {
+		t.Errorf("DCQCN victim %.2f should far exceed PFC-only %.2f",
+			dcqcn.VictimMed[1], pfc.VictimMed[1])
+	}
+	if pfc.Table() == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestFig10 checks the fluid model tracks the implementation.
+func TestFig10(t *testing.T) {
+	r := FluidVsPacket(tiny())
+	if r.MeanRelError > 0.15 {
+		t.Errorf("fluid vs packet mean rel error %.1f%%, want < 15%%", r.MeanRelError*100)
+	}
+	if r.PacketRate.N() == 0 || r.FluidRate.N() == 0 {
+		t.Error("missing trajectories")
+	}
+	if r.Table() == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestFig11 checks the sweep directions: larger byte counters, faster
+// timers, larger K_max and smaller P_max all improve convergence from
+// the strawman.
+func TestFig11(t *testing.T) {
+	sweeps := Fig11Sweeps()
+	for _, key := range []string{"a:byte-counter", "b:timer", "c:kmax", "d:pmax"} {
+		if len(sweeps[key]) < 3 {
+			t.Fatalf("sweep %s missing points", key)
+		}
+	}
+	// (a) slowing the byte counter helps, though — as the paper notes —
+	// it cannot fully fix convergence while the timer stays slow.
+	a := sweeps["a:byte-counter"]
+	if a[len(a)-1].RateDiff > 0.85*a[0].RateDiff {
+		t.Errorf("byte-counter sweep: %f vs %f, want improvement", a[0].RateDiff, a[len(a)-1].RateDiff)
+	}
+	// (b) fastest timer (first) beats the slowest (last).
+	b := sweeps["b:timer"]
+	if b[0].RateDiff > b[len(b)-1].RateDiff {
+		t.Errorf("timer sweep: fast %f should beat slow %f", b[0].RateDiff, b[len(b)-1].RateDiff)
+	}
+	// (c) spreading marking over a larger Kmax beats cut-off at 40KB.
+	c := sweeps["c:kmax"]
+	if c[len(c)-1].RateDiff > c[0].RateDiff {
+		t.Errorf("kmax sweep: wide %f should beat narrow %f", c[len(c)-1].RateDiff, c[0].RateDiff)
+	}
+	// (d) small Pmax beats Pmax=1.
+	d := sweeps["d:pmax"]
+	if d[0].RateDiff > d[len(d)-1].RateDiff {
+		t.Errorf("pmax sweep: %f (Pmax=.01) should beat %f (Pmax=1)", d[0].RateDiff, d[len(d)-1].RateDiff)
+	}
+}
+
+// TestFig13 checks the four-configuration validation: the strawman does
+// not converge; all three fixes do.
+func TestFig13(t *testing.T) {
+	rs := Fig13All(tiny())
+	if len(rs) != 4 {
+		t.Fatal("want 4 configurations")
+	}
+	straw := rs[0].MeanDiff
+	for _, r := range rs[1:] {
+		if r.MeanDiff > straw/2 {
+			t.Errorf("%v: diff %.2fG not clearly better than strawman %.2fG",
+				r.Config, r.MeanDiff, straw)
+		}
+	}
+	if Fig13Table(rs) == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestFig16 checks the §6.2 benchmark: DCQCN keeps user tail throughput
+// roughly flat as incast degree grows, while PFC-only collapses, and the
+// spines see orders of magnitude fewer PAUSE frames.
+func TestFig16(t *testing.T) {
+	degrees := []int{2, 10}
+	pfc := Fig16(ModePFCOnly, degrees, tiny())
+	dcqcn := Fig16(ModeDCQCN, degrees, tiny())
+
+	if !(pfc[1].User10th < pfc[0].User10th) {
+		t.Errorf("PFC-only user p10 should fall with incast degree: %.2f -> %.2f",
+			pfc[0].User10th, pfc[1].User10th)
+	}
+	if dcqcn[1].User10th < pfc[1].User10th {
+		t.Errorf("DCQCN user p10 (%.2f) should beat PFC-only (%.2f) at degree 10",
+			dcqcn[1].User10th, pfc[1].User10th)
+	}
+	// Fig. 15: PAUSE frames at the spines.
+	if pfc[1].SpinePauses < 100*max(dcqcn[1].SpinePauses, 1) {
+		t.Errorf("spine pauses: PFC-only %d vs DCQCN %d, want orders of magnitude",
+			pfc[1].SpinePauses, dcqcn[1].SpinePauses)
+	}
+	// Fig. 16d: incast tail fairness: DCQCN p10 above PFC-only p10.
+	if dcqcn[1].Incast10th < pfc[1].Incast10th {
+		t.Errorf("DCQCN incast p10 %.2f should beat PFC-only %.2f",
+			dcqcn[1].Incast10th, pfc[1].Incast10th)
+	}
+	if Fig16Table(ModeDCQCN, dcqcn) == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestFig18 checks the four configurations: only proper DCQCN combines
+// losslessness with good tails; removing PFC brings drops; misconfigured
+// thresholds underperform proper DCQCN.
+func TestFig18(t *testing.T) {
+	rs := Fig18(8, tiny())
+	byMode := map[Mode]Fig18Result{}
+	for _, r := range rs {
+		byMode[r.Mode] = r
+	}
+	if byMode[ModeDCQCNNoPFC].Drops == 0 {
+		t.Error("no drops without PFC; line-rate starts must overflow")
+	}
+	if byMode[ModeDCQCN].Drops != 0 || byMode[ModePFCOnly].Drops != 0 || byMode[ModeDCQCNMisconfigured].Drops != 0 {
+		t.Error("PFC-protected configurations must be lossless")
+	}
+	if byMode[ModeDCQCN].Incast10th < byMode[ModeDCQCNMisconfigured].Incast10th {
+		t.Error("proper thresholds should beat misconfigured ones for incast tails")
+	}
+	if Fig18Table(rs) == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestFig19 checks the §6.3 queue comparison: DCQCN's median queue is
+// far shorter than DCTCP's.
+func TestFig19(t *testing.T) {
+	r := Fig19(tiny())
+	dq, tq := r.DCQCNQueue.Median(), r.DCTCPQueue.Median()
+	if dq >= tq/2 {
+		t.Errorf("median queue: DCQCN %.0fB vs DCTCP %.0fB, want < half", dq, tq)
+	}
+	// DCTCP's cut-off threshold anchors its queue near 160KB.
+	if tq < 80e3 {
+		t.Errorf("DCTCP median queue %.0fB implausibly low", tq)
+	}
+	if r.Table() == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestFig20 checks the multi-bottleneck claim: RED-like marking gives
+// the two-bottleneck flow f2 a larger share than cut-off marking.
+func TestFig20(t *testing.T) {
+	// The marking-scheme difference is a steady-state effect; measure
+	// well past the alpha transient.
+	rs := Fig20(Fidelity{Duration: 40 * simtime.Millisecond, Warmup: 40 * simtime.Millisecond, Runs: 1})
+	if len(rs) != 2 {
+		t.Fatal("want cutoff and RED rows")
+	}
+	cutoff, red := rs[0], rs[1]
+	// The two-bottleneck flow is penalized below max-min fairness under
+	// both schemes (the parking-lot problem)...
+	for _, r := range rs {
+		if !(r.F2 < r.F1 && r.F2 < r.F3) {
+			t.Errorf("%s: f2 %.2fG not penalized (f1 %.2fG, f3 %.2fG)", r.Marking, r.F2, r.F1, r.F3)
+		}
+	}
+	// ...and RED-like marking mitigates (but does not solve) it.
+	if red.F2 <= cutoff.F2 {
+		t.Errorf("RED f2 %.2fG should beat cut-off f2 %.2fG", red.F2, cutoff.F2)
+	}
+	if Fig20Table(rs) == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestIncastSummary checks §6.1's scaling claim: high utilization and
+// bounded queues across incast degrees, with zero loss.
+func TestIncastSummary(t *testing.T) {
+	pts := IncastSummary([]int{2, 16}, Fidelity{Duration: 20 * simtime.Millisecond, Warmup: 15 * simtime.Millisecond, Runs: 1})
+	for _, p := range pts {
+		if p.TotalGbps < 30 {
+			t.Errorf("%d:1 incast total %.1fG, want > 30G", p.K, p.TotalGbps)
+		}
+		if p.Drops != 0 {
+			t.Errorf("%d:1 incast dropped %d packets", p.K, p.Drops)
+		}
+	}
+	if IncastSummaryTable(pts) == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestFig12 checks the fluid g sweep renders and has the documented
+// direction for 2:1 incast.
+func TestFig12(t *testing.T) {
+	pts := Fig12AlphaGain()
+	if len(pts) != 4 {
+		t.Fatalf("want 4 points, got %d", len(pts))
+	}
+	var p16, p256 Fig12Point
+	for _, p := range pts {
+		if p.Incast == 2 && p.G > 0.05 {
+			p16 = p
+		}
+		if p.Incast == 2 && p.G < 0.05 {
+			p256 = p
+		}
+	}
+	if p256.QueuePeak >= p16.QueuePeak {
+		t.Errorf("2:1 peak: g=1/256 %.0fB should undercut g=1/16 %.0fB",
+			p256.QueuePeak, p16.QueuePeak)
+	}
+	if Fig12Table(pts) == "" {
+		t.Error("table must render")
+	}
+}
+
+func TestFig1TableRenders(t *testing.T) {
+	out := Fig1Table()
+	for _, want := range []string{"TCP", "RDMA", "4000KB", "latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 table missing %q", want)
+		}
+	}
+}
+
+// TestAblations exercises every ablation and their documented directions.
+func TestAblations(t *testing.T) {
+	fid := tiny()
+
+	tb := AblationTimerVsByteCounter(fid)
+	if tb[1].Metrics["mean |r1-r2| (Gbps)"] > tb[0].Metrics["mean |r1-r2| (Gbps)"] {
+		t.Error("timer-dominated recovery should converge at least as well as byte-counter-dominated")
+	}
+
+	fs := AblationFastStart()
+	if fs[0].Metrics["FCT (us)"] >= fs[1].Metrics["FCT (us)"] {
+		t.Errorf("line-rate start FCT %.0fus should beat slow start %.0fus",
+			fs[0].Metrics["FCT (us)"], fs[1].Metrics["FCT (us)"])
+	}
+
+	g := AblationG(fid)
+	if len(g) != 2 {
+		t.Fatal("g ablation rows")
+	}
+
+	cp := AblationCNPPriority(fid)
+	if len(cp) != 2 {
+		t.Fatal("cnp priority rows")
+	}
+
+	rai := AblationRAI(fid)
+	if len(rai) != 2 {
+		t.Fatal("rai rows")
+	}
+	if AblationTable(g, "queue p50 (KB)", "queue p99 (KB)") == "" {
+		t.Error("ablation table must render")
+	}
+}
+
+// TestRandomLoss checks the §7 claim: goodput degrades sharply with
+// non-congestion loss because of go-back-N.
+func TestRandomLoss(t *testing.T) {
+	pts := RandomLoss([]float64{0, 1e-3}, tiny())
+	if len(pts) != 2 {
+		t.Fatal("want 2 points")
+	}
+	clean, lossy := pts[0], pts[1]
+	if clean.Retransmits != 0 {
+		t.Errorf("retransmits on a clean link: %d", clean.Retransmits)
+	}
+	if lossy.Retransmits == 0 {
+		t.Error("no retransmits at 0.1% loss")
+	}
+	if lossy.GoodputGbps > 0.8*clean.GoodputGbps {
+		t.Errorf("0.1%% loss goodput %.2fG vs clean %.2fG: go-back-N should hurt more",
+			lossy.GoodputGbps, clean.GoodputGbps)
+	}
+	if RandomLossTable(pts) == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestTimelyComparison checks the extension experiment: DCQCN's explicit
+// ECN feedback yields near-perfect fairness, while delay-based TIMELY —
+// which the paper contrasts in §3.3 and its authors later proved has no
+// unique fixed point — is far less fair at similar utilization.
+func TestTimelyComparison(t *testing.T) {
+	rs := TimelyComparison(tiny())
+	if len(rs) != 2 {
+		t.Fatal("want 2 protocols")
+	}
+	dcqcn, timely := rs[0], rs[1]
+	if dcqcn.FairnessRatio > 2 {
+		t.Errorf("DCQCN max/min %.2f, want near 1", dcqcn.FairnessRatio)
+	}
+	if timely.FairnessRatio < 2*dcqcn.FairnessRatio {
+		t.Errorf("TIMELY max/min %.2f should far exceed DCQCN's %.2f",
+			timely.FairnessRatio, dcqcn.FairnessRatio)
+	}
+	if timely.TotalGbps < 20 {
+		t.Errorf("TIMELY utilization %.1fG too low: control broken, not just unfair", timely.TotalGbps)
+	}
+	if TimelyComparisonTable(rs) == "" {
+		t.Error("table must render")
+	}
+}
+
+// TestClassIsolation checks §2.3: PFC priority classes isolate traffic
+// between classes (the separate-class victim keeps its full DRR share),
+// while flows inside the incast's class suffer with it.
+func TestClassIsolation(t *testing.T) {
+	rs := ClassIsolation(tiny())
+	if len(rs) != 2 {
+		t.Fatal("want 2 scenarios")
+	}
+	same, separate := rs[0], rs[1]
+	if separate.VictimGbps < 1.5*same.VictimGbps {
+		t.Errorf("separate-class victim %.2fG should far exceed same-class %.2fG",
+			separate.VictimGbps, same.VictimGbps)
+	}
+	if separate.VictimGbps < 15 {
+		t.Errorf("separate-class victim %.2fG, want ~its 20G DRR share", separate.VictimGbps)
+	}
+	if ClassIsolationTable(rs) == "" {
+		t.Error("table must render")
+	}
+}

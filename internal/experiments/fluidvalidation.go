@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/fluid"
+	"dcqcn/internal/rocev2"
+	"dcqcn/internal/simtime"
+	"dcqcn/internal/stats"
+	"dcqcn/internal/topology"
+)
+
+// FluidVsPacketResult compares the fluid model against the packet-level
+// implementation (Fig. 10): the second sender's rate trajectory from
+// each, and the mean relative error between them.
+type FluidVsPacketResult struct {
+	// PacketRate and FluidRate are the second flow's rate over time.
+	PacketRate stats.Series
+	FluidRate  stats.Series
+	// MeanRelError is the average |packet−fluid|/capacity over the
+	// overlapping window.
+	MeanRelError float64
+}
+
+// FluidVsPacket reproduces Fig. 10: two greedy senders into one receiver
+// through one switch; the second sender joins at startDelay. The packet
+// simulator plays the NIC firmware role; the fluid model is solved with
+// both flows at line rate from the join instant (DCQCN flows start at
+// line rate, so the pre-join history only matters through flow 1's
+// state, which has converged by then).
+func FluidVsPacket(fid Fidelity) FluidVsPacketResult {
+	const startDelay = 10 * simtime.Millisecond
+	horizon := fid.Duration
+	if horizon < 50*simtime.Millisecond {
+		horizon = 50 * simtime.Millisecond
+	}
+
+	// --- Packet-level run ---
+	opts := options(ModeDCQCN, 1)
+	net := topology.NewStar(11, 3, opts)
+	open := openFlow(net)
+	repostLoop(open("H1", "H3"), 8*1000*1000, func(rocev2.Completion) {})
+	var res FluidVsPacketResult
+	net.Sim.At(simtime.Time(startDelay), func() {
+		f2 := open("H2", "H3")
+		repostLoop(f2, 8*1000*1000, func(rocev2.Completion) {})
+		net.Sim.Ticker(100*simtime.Microsecond, func(now simtime.Time) {
+			res.PacketRate.Add((now - simtime.Time(startDelay)).Seconds(), float64(f2.CurrentRate()))
+		})
+	})
+	net.Sim.Run(simtime.Time(startDelay + horizon))
+
+	// --- Fluid model ---
+	fcfg := fluid.DefaultConfig()
+	fcfg.InitialRates = []simtime.Rate{40 * simtime.Gbps, 40 * simtime.Gbps}
+	fcfg.Duration = horizon
+	fcfg.SampleEvery = 100 * simtime.Microsecond
+	fres, err := fluid.Solve(fcfg)
+	if err != nil {
+		panic(err)
+	}
+	for i, t := range fres.Time {
+		res.FluidRate.Add(t, fres.Rates[1][i])
+	}
+
+	// Mean relative error over the common window.
+	n := len(res.PacketRate.V)
+	if len(res.FluidRate.V) < n {
+		n = len(res.FluidRate.V)
+	}
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += math.Abs(res.PacketRate.V[i]-res.FluidRate.V[i]) / 40e9
+	}
+	if n > 0 {
+		res.MeanRelError = acc / float64(n)
+	}
+	return res
+}
+
+// Table summarizes the comparison.
+func (r FluidVsPacketResult) Table() string {
+	pm := r.PacketRate.Sample().Median()
+	fm := r.FluidRate.Sample().Median()
+	return fmt.Sprintf("fig10: packet median rate %.2fG, fluid median rate %.2fG, mean rel error %.1f%%\n",
+		gbps(pm), gbps(fm), r.MeanRelError*100)
+}
+
+// SweepPoint is one cell of a Fig. 11 convergence sweep.
+type SweepPoint struct {
+	Label string
+	// Value is the swept parameter's value (units depend on the sweep).
+	Value float64
+	// RateDiff is the mean |R1−R2| in Gb/s after the first 10 ms —
+	// the paper's Z axis (lower is better).
+	RateDiff float64
+}
+
+// solveTwoFlow runs the fluid model with 40G/5G starts and the given
+// parameters, returning the convergence metric.
+func solveTwoFlow(params core.Params) float64 {
+	cfg := fluid.DefaultConfig()
+	cfg.Params = params
+	res, err := fluid.Solve(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return gbps(res.RateDiff(0, 1, 0.01))
+}
+
+// Fig11Sweeps reproduces the four parameter sweeps of Fig. 11:
+// (a) byte counter swept under strawman parameters,
+// (b) timer swept with a 10 MB byte counter,
+// (c) K_max swept under strawman parameters,
+// (d) P_max swept with K_max = 200 KB.
+func Fig11Sweeps() map[string][]SweepPoint {
+	out := make(map[string][]SweepPoint)
+
+	for _, bc := range []int64{150e3, 1e6, 10e6, 50e6} {
+		p := core.StrawmanParams()
+		p.ByteCounter = bc
+		out["a:byte-counter"] = append(out["a:byte-counter"], SweepPoint{
+			Label: fmt.Sprintf("B=%dKB", bc/1000), Value: float64(bc),
+			RateDiff: solveTwoFlow(p),
+		})
+	}
+	for _, timer := range []simtime.Duration{55 * simtime.Microsecond, 300 * simtime.Microsecond, 1500 * simtime.Microsecond} {
+		p := core.StrawmanParams()
+		p.ByteCounter = 10e6
+		p.RateTimer = timer
+		out["b:timer"] = append(out["b:timer"], SweepPoint{
+			Label: fmt.Sprintf("T=%v", timer), Value: timer.Seconds(),
+			RateDiff: solveTwoFlow(p),
+		})
+	}
+	for _, kmax := range []int64{40e3, 100e3, 200e3, 400e3} {
+		p := core.StrawmanParams()
+		p.KMax = kmax
+		p.PMax = 0.01
+		out["c:kmax"] = append(out["c:kmax"], SweepPoint{
+			Label: fmt.Sprintf("Kmax=%dKB", kmax/1000), Value: float64(kmax),
+			RateDiff: solveTwoFlow(p),
+		})
+	}
+	for _, pmax := range []float64{0.01, 0.1, 0.5, 1.0} {
+		p := core.StrawmanParams()
+		p.KMax = 200e3
+		p.PMax = pmax
+		out["d:pmax"] = append(out["d:pmax"], SweepPoint{
+			Label: fmt.Sprintf("Pmax=%g", pmax), Value: pmax,
+			RateDiff: solveTwoFlow(p),
+		})
+	}
+	return out
+}
+
+// Fig12Point is one trace summary of the Fig. 12 g comparison.
+type Fig12Point struct {
+	G          float64
+	Incast     int
+	QueueMean  float64 // bytes
+	QueueStdev float64
+	QueuePeak  float64
+}
+
+// Fig12AlphaGain reproduces Fig. 12 with the fluid model: queue length
+// statistics for g ∈ {1/16, 1/256} under 2:1 and 16:1 incast with
+// line-rate starts.
+func Fig12AlphaGain() []Fig12Point {
+	var out []Fig12Point
+	for _, g := range []float64{1.0 / 16, 1.0 / 256} {
+		for _, n := range []int{2, 16} {
+			cfg := fluid.DefaultConfig()
+			cfg.Params.G = g
+			cfg.InitialRates = make([]simtime.Rate, n)
+			for i := range cfg.InitialRates {
+				cfg.InitialRates[i] = 40 * simtime.Gbps
+			}
+			cfg.Duration = 100 * simtime.Millisecond
+			res, err := fluid.Solve(cfg)
+			if err != nil {
+				panic(err)
+			}
+			mean, std := res.QueueStats(0.02)
+			peak := 0.0
+			for i, t := range res.Time {
+				if t >= 0.02 && res.Queue[i] > peak {
+					peak = res.Queue[i]
+				}
+			}
+			out = append(out, Fig12Point{G: g, Incast: n, QueueMean: mean, QueueStdev: std, QueuePeak: peak})
+		}
+	}
+	return out
+}
+
+// Fig12Table renders the g sweep.
+func Fig12Table(points []Fig12Point) string {
+	t := stats.Table{Header: []string{"g", "incast", "queue mean (KB)", "stddev (KB)", "peak (KB)"}}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("1/%d", int(1/p.G)),
+			fmt.Sprintf("%d:1", p.Incast),
+			fmt.Sprintf("%.1f", p.QueueMean/1000),
+			fmt.Sprintf("%.1f", p.QueueStdev/1000),
+			fmt.Sprintf("%.1f", p.QueuePeak/1000))
+	}
+	return t.String()
+}

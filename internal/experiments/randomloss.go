@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcqcn/internal/rocev2"
+	"dcqcn/internal/simtime"
+	"dcqcn/internal/stats"
+	"dcqcn/internal/topology"
+)
+
+// RandomLossPoint is one point of the §7 non-congestion loss study: the
+// goodput of a single uncongested DCQCN flow as a function of the
+// per-frame random loss probability of its path.
+type RandomLossPoint struct {
+	LossRate    float64
+	GoodputGbps float64
+	Retransmits int64
+	Timeouts    int64
+}
+
+// RandomLoss quantifies the §7 discussion: RoCEv2's go-back-N recovery
+// makes goodput collapse under even small non-congestion loss rates,
+// because every lost frame forces retransmission of the entire window
+// behind it. One sender and one receiver share an idle single-switch
+// path; loss is injected on every link.
+func RandomLoss(rates []float64, fid Fidelity) []RandomLossPoint {
+	var out []RandomLossPoint
+	for i, p := range rates {
+		opts := options(ModeDCQCN, 8)
+		// Faster RTO than the deployment default keeps the measurement
+		// window informative at high loss; the relative collapse is what
+		// matters. The 25 us links model a loaded multi-hop path (~100 us
+		// RTT), the regime where full-window retransmission bites.
+		opts.NIC.Transport.RTO = 2 * simtime.Millisecond
+		opts.HostLinkDelay = 25 * simtime.Microsecond
+		net := topology.NewStar(int64(i)*31+9, 2, opts)
+		net.SetLossRate(p)
+		open := openFlow(net)
+		flow := open("H1", "H2")
+		repostLoop(flow, 8*1000*1000, func(rocev2.Completion) {})
+		var base int64
+		net.Sim.At(simtime.Time(fid.Warmup), func() { base = flow.Stats().PayloadAcked })
+		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+		goodput := simtime.RateFromBytes(flow.Stats().PayloadAcked-base, fid.Duration)
+		out = append(out, RandomLossPoint{
+			LossRate:    p,
+			GoodputGbps: gbps(float64(goodput)),
+			Retransmits: flow.Stats().Retransmits,
+			Timeouts:    flow.Stats().Timeouts,
+		})
+	}
+	return out
+}
+
+// RandomLossTable renders the study.
+func RandomLossTable(points []RandomLossPoint) string {
+	t := stats.Table{Header: []string{"loss rate", "goodput (Gbps)", "retransmits", "timeouts"}}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%.4f%%", p.LossRate*100),
+			fmt.Sprintf("%.2f", p.GoodputGbps),
+			fmt.Sprintf("%d", p.Retransmits),
+			fmt.Sprintf("%d", p.Timeouts))
+	}
+	return t.String()
+}

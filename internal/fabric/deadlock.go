@@ -1,0 +1,140 @@
+package fabric
+
+import (
+	"sort"
+
+	"dcqcn/internal/link"
+	"dcqcn/internal/packet"
+)
+
+// PFC deadlock detection. Because PFC pauses hop by hop, a cycle of
+// switches each waiting for the next to resume can freeze permanently:
+// every member's ingress queue stays above threshold because its egress
+// is paused by the member downstream. The DCQCN paper's deployment
+// avoids cyclic buffer dependencies by design (up-down routing on a
+// Clos), and its authors' follow-up work ("Deadlocks in Datacenter
+// Networks", HotNets 2016) studies when routing transients break that
+// assumption. DetectPauseDeadlock finds such cycles in a running
+// simulation.
+
+// WaitEdge is one edge of the PFC wait-for graph: From's egress toward
+// To is paused for Priority while data is queued behind it.
+type WaitEdge struct {
+	From, To string
+	Priority uint8
+	Queued   int64
+}
+
+// PauseWaitGraph returns the current wait-for edges among the given
+// switches: an edge exists when a switch has bytes queued on an egress
+// port whose peer (another switch in the set) has paused that priority.
+func PauseWaitGraph(switches []*Switch) []WaitEdge {
+	owner := make(map[*link.Port]*Switch)
+	for _, sw := range switches {
+		for i := 0; i < sw.NumPorts(); i++ {
+			owner[sw.Port(i)] = sw
+		}
+	}
+	var edges []WaitEdge
+	for _, sw := range switches {
+		for i := 0; i < sw.NumPorts(); i++ {
+			port := sw.Port(i)
+			peerSw, ok := owner[port.Peer()]
+			if !ok {
+				continue // host-facing or unwired port
+			}
+			for prio := uint8(0); prio < packet.NumPriorities; prio++ {
+				if port.Paused(prio) && port.QueuedBytes(prio) > 0 {
+					edges = append(edges, WaitEdge{
+						From:     sw.Name,
+						To:       peerSw.Name,
+						Priority: prio,
+						Queued:   port.QueuedBytes(prio),
+					})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// DetectPauseDeadlock reports cycles in the wait-for graph: each cycle
+// is a list of switch names where every member waits on the next (and
+// the last on the first). An empty result means no cyclic buffer
+// dependency exists right now. The detector is a point-in-time check;
+// call it repeatedly (or after traffic stalls) to confirm persistence.
+func DetectPauseDeadlock(switches []*Switch) [][]string {
+	edges := PauseWaitGraph(switches)
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	for _, next := range adj {
+		sort.Strings(next)
+	}
+
+	// Iterative DFS with colors; report each cycle once.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	onStack := make(map[string]int) // name -> index in stack
+	var cycles [][]string
+	seen := make(map[string]bool) // canonical cycle signatures
+
+	var dfs func(u string)
+	dfs = func(u string) {
+		color[u] = gray
+		onStack[u] = len(stack)
+		stack = append(stack, u)
+		for _, v := range adj[u] {
+			switch color[v] {
+			case white:
+				dfs(v)
+			case gray:
+				// Found a cycle: stack[onStack[v]:] plus back to v.
+				cyc := append([]string(nil), stack[onStack[v]:]...)
+				if sig := canonicalCycle(cyc); !seen[sig] {
+					seen[sig] = true
+					cycles = append(cycles, cyc)
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, u)
+		color[u] = black
+	}
+	names := make([]string, 0, len(adj))
+	for name := range adj {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if color[name] == white {
+			dfs(name)
+		}
+	}
+	return cycles
+}
+
+// canonicalCycle rotates the cycle to start at its smallest name so the
+// same cycle found from different entry points deduplicates.
+func canonicalCycle(cyc []string) string {
+	if len(cyc) == 0 {
+		return ""
+	}
+	minIdx := 0
+	for i, s := range cyc {
+		if s < cyc[minIdx] {
+			minIdx = i
+		}
+	}
+	sig := ""
+	for i := 0; i < len(cyc); i++ {
+		sig += cyc[(minIdx+i)%len(cyc)] + "|"
+	}
+	return sig
+}

@@ -1,0 +1,313 @@
+// Package fabric implements the shared-buffer datacenter switch the DCQCN
+// paper's analysis assumes: a Broadcom Trident II-style device with
+//
+//   - a single packet buffer shared by all ports, with per-(ingress port,
+//     priority) byte accounting and reserved PFC headroom;
+//   - PFC PAUSE generation with either the dynamic threshold
+//     t_PFC = β(B − 8·n·t_flight − s)/8 or a fixed (misconfigurable)
+//     threshold, and RESUME at threshold − 2·MTU;
+//   - RED/ECN marking on egress queues per the Fig. 5 law;
+//   - IP routing with per-flow ECMP (5-tuple hash, per-switch seed).
+//
+// Packet loss can only occur by buffer overflow, which correct PFC
+// settings prevent; the Fig. 18 experiments disable or misconfigure PFC
+// to show what then happens.
+package fabric
+
+import (
+	"fmt"
+
+	"dcqcn/internal/buffercalc"
+	"dcqcn/internal/core"
+	"dcqcn/internal/engine"
+	"dcqcn/internal/link"
+	"dcqcn/internal/packet"
+)
+
+// Config selects the switch's buffer management and marking behaviour.
+type Config struct {
+	// Spec is the buffer geometry (size, ports, headroom inputs).
+	Spec buffercalc.SwitchSpec
+	// PFCEnabled turns PAUSE generation on. Off, the switch tail-drops on
+	// overflow (the paper's "DCQCN without PFC" configuration).
+	PFCEnabled bool
+	// Beta is the dynamic PAUSE threshold sharing factor (paper: 8).
+	// Ignored when StaticPFCThreshold > 0.
+	Beta float64
+	// StaticPFCThreshold, if positive, replaces the dynamic threshold
+	// with a fixed per-ingress-queue value (the paper's "misconfigured"
+	// case uses the static upper bound).
+	StaticPFCThreshold int64
+	// EgressAlpha is the dynamic per-egress-queue drop threshold of
+	// lossy traffic classes: a queue may grow to EgressAlpha·(B − s)
+	// before arriving packets tail-drop (Broadcom dynamic thresholding).
+	// Lossless (PFC-protected) classes are exempt — they are bounded by
+	// the ingress PAUSE thresholds instead — so the limit only acts when
+	// PFCEnabled is false. Zero disables the check.
+	EgressAlpha float64
+	// EgressDRRQuantum, if positive, schedules the data classes of every
+	// egress port with deficit round robin (that many bytes per turn)
+	// instead of strict priority — how shared switches divide bandwidth
+	// between traffic classes.
+	EgressDRRQuantum int64
+	// Marking supplies the RED/ECN profile (KMin, KMax, PMax).
+	Marking core.Params
+	// ECMPSeed perturbs the 5-tuple hash of this switch. Real switches
+	// hash with different configurations per device; the paper's
+	// unfairness results depend on how flows collide, so experiments
+	// control this seed.
+	ECMPSeed uint64
+}
+
+// DefaultConfig returns the paper's recommended production switch
+// configuration: PFC on, β = 8, RED/ECN per Fig. 14.
+func DefaultConfig() Config {
+	return Config{
+		Spec:        buffercalc.DefaultArista7050QX32(),
+		PFCEnabled:  true,
+		Beta:        8,
+		EgressAlpha: 0.125,
+		Marking:     core.DefaultParams(),
+	}
+}
+
+// Stats aggregates switch-level counters used by the experiments.
+type Stats struct {
+	Forwarded   int64 // packets routed
+	Drops       int64 // packets lost to buffer overflow
+	PauseSent   int64 // XOFF frames emitted
+	ResumeSent  int64 // XON frames emitted
+	EcnMarked   int64 // packets CE-marked here
+	MaxOccupied int64 // high-water mark of the shared buffer
+}
+
+// Switch is one shared-buffer switch.
+type Switch struct {
+	Name string
+	ID   packet.NodeID
+
+	sim *engine.Sim
+	cfg Config
+	cp  *core.CP
+
+	ports []*link.Port
+	// routes maps destination node -> candidate egress ports (ECMP set).
+	routes map[packet.NodeID][]int
+
+	occupied int64 // shared-buffer bytes currently held
+	ingress  [][packet.NumPriorities]int64
+	pausing  [][packet.NumPriorities]bool
+
+	// Sampler, if set, observes data packets at egress enqueue time and
+	// may return a feedback packet (used by the QCN baseline); the switch
+	// routes the feedback like any other packet.
+	Sampler func(p *packet.Packet, egressQueueBytes int64) *packet.Packet
+
+	Stats Stats
+}
+
+// New creates a switch with nPorts ports. Ports are created eagerly and
+// wired to neighbours by the topology layer.
+func New(sim *engine.Sim, id packet.NodeID, name string, nPorts int, cfg Config) *Switch {
+	if cfg.Spec.Validate() != nil && cfg.PFCEnabled {
+		panic(fmt.Sprintf("fabric: invalid switch spec for %s", name))
+	}
+	sw := &Switch{
+		Name:    name,
+		ID:      id,
+		sim:     sim,
+		cfg:     cfg,
+		cp:      core.NewCP(cfg.Marking, sim.Rand().Float64),
+		routes:  make(map[packet.NodeID][]int),
+		ingress: make([][packet.NumPriorities]int64, nPorts),
+		pausing: make([][packet.NumPriorities]bool, nPorts),
+	}
+	for i := 0; i < nPorts; i++ {
+		port := link.NewPort(sim, fmt.Sprintf("%s.p%d", name, i), i, cfg.Spec.LineRate, sw)
+		port.OnDeparture = sw.onDeparture
+		if cfg.EgressDRRQuantum > 0 {
+			port.EnableDRR(cfg.EgressDRRQuantum)
+		}
+		sw.ports = append(sw.ports, port)
+	}
+	return sw
+}
+
+// Port returns port i for wiring by the topology layer.
+func (s *Switch) Port(i int) *link.Port { return s.ports[i] }
+
+// NumPorts returns the number of ports.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// Config returns the switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// AddRoute registers egress ports for a destination. Multiple ports form
+// an ECMP group resolved by flow hash.
+func (s *Switch) AddRoute(dst packet.NodeID, ports ...int) {
+	s.routes[dst] = append(s.routes[dst], ports...)
+}
+
+// Occupied returns the shared-buffer bytes currently held.
+func (s *Switch) Occupied() int64 { return s.occupied }
+
+// IngressQueue returns the bytes accounted to one ingress (port,
+// priority) queue.
+func (s *Switch) IngressQueue(port int, prio uint8) int64 {
+	return s.ingress[port][prio]
+}
+
+// EgressQueue returns the bytes waiting on the egress FIFO of (port,
+// priority) — the quantity the Fig. 19 queue-length experiment samples.
+func (s *Switch) EgressQueue(port int, prio uint8) int64 {
+	return s.ports[port].QueuedBytes(prio)
+}
+
+// pfcThreshold returns the XOFF threshold in force right now.
+func (s *Switch) pfcThreshold() int64 {
+	if s.cfg.StaticPFCThreshold > 0 {
+		return s.cfg.StaticPFCThreshold
+	}
+	return s.cfg.Spec.DynamicPFCThreshold(s.cfg.Beta, s.occupied)
+}
+
+// HandlePacket implements link.Receiver: the switch forwarding pipeline.
+func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
+	// Admission: the shared buffer is finite, and without PFC each
+	// egress queue is additionally bounded by the dynamic threshold
+	// EgressAlpha·(B − s). With PFC configured correctly neither check
+	// can trigger; without it, this is the tail drop the paper's Fig. 18
+	// demonstrates.
+	if s.occupied+int64(p.Size) > s.cfg.Spec.BufferBytes {
+		s.Stats.Drops++
+		in.Stats.Drops++
+		return
+	}
+	if !s.cfg.PFCEnabled && s.cfg.EgressAlpha > 0 {
+		if out, ok := s.RouteChoice(p.Tuple); ok {
+			limit := int64(s.cfg.EgressAlpha * float64(s.cfg.Spec.BufferBytes-s.occupied))
+			if s.ports[out].QueuedBytes(p.Priority) > limit {
+				s.Stats.Drops++
+				in.Stats.Drops++
+				return
+			}
+		}
+	}
+	s.occupied += int64(p.Size)
+	if s.occupied > s.Stats.MaxOccupied {
+		s.Stats.MaxOccupied = s.occupied
+	}
+	s.ingress[in.Index][p.Priority] += int64(p.Size)
+	p.InPort = int32(in.Index)
+
+	if s.cfg.PFCEnabled {
+		s.checkPause(in.Index, p.Priority)
+	}
+	s.forward(p)
+}
+
+// forward routes p out the port its ECMP hash selects.
+func (s *Switch) forward(p *packet.Packet) {
+	outs, ok := s.routes[p.Tuple.Dst]
+	if !ok || len(outs) == 0 {
+		panic(fmt.Sprintf("fabric: %s has no route to node %d", s.Name, p.Tuple.Dst))
+	}
+	out := outs[0]
+	if len(outs) > 1 {
+		out = outs[p.Tuple.Hash(s.cfg.ECMPSeed)%uint64(len(outs))]
+	}
+	port := s.ports[out]
+
+	qlen := port.QueuedBytes(p.Priority)
+	if p.ECNCapable && s.cp.ShouldMark(qlen) {
+		p.CE = true
+		s.Stats.EcnMarked++
+	}
+	if s.Sampler != nil && p.Type == packet.Data {
+		if fb := s.Sampler(p, qlen); fb != nil {
+			fb.InPort = -1 // switch-originated: no buffer accounting
+			s.forward(fb)
+		}
+	}
+	s.Stats.Forwarded++
+	port.Enqueue(p)
+}
+
+// onDeparture releases buffer accounting when a packet's last bit leaves
+// the switch, and sends RESUME when the ingress queue drains enough.
+// Frames the switch originated itself (PFC, QCN feedback) were never
+// admitted into the shared buffer and carry no ingress accounting.
+func (s *Switch) onDeparture(p *packet.Packet) {
+	if p.IsControl() || p.InPort < 0 {
+		return
+	}
+	s.occupied -= int64(p.Size)
+	inPort := int(p.InPort)
+	s.ingress[inPort][p.Priority] -= int64(p.Size)
+	if s.cfg.PFCEnabled && s.pausing[inPort][p.Priority] {
+		resumeAt := s.pfcThreshold() - 2*s.cfg.Spec.MTUBytes
+		if s.ingress[inPort][p.Priority] <= max(resumeAt, 0) {
+			s.pausing[inPort][p.Priority] = false
+			s.Stats.ResumeSent++
+			s.ports[inPort].SendPFC(p.Priority, false)
+		}
+	}
+}
+
+// checkPause sends XOFF upstream if an ingress queue crossed the PFC
+// threshold, then keeps refreshing it until the queue drains (PFC pause
+// times expire, so a congested switch re-asserts XOFF periodically —
+// this is why the paper's Fig. 15 counts millions of PAUSE frames).
+func (s *Switch) checkPause(inPort int, prio uint8) {
+	if s.pausing[inPort][prio] {
+		return
+	}
+	if s.ingress[inPort][prio] <= s.pfcThreshold() {
+		return
+	}
+	s.pausing[inPort][prio] = true
+	s.sendPause(inPort, prio)
+}
+
+func (s *Switch) sendPause(inPort int, prio uint8) {
+	if !s.pausing[inPort][prio] {
+		return
+	}
+	s.Stats.PauseSent++
+	s.ports[inPort].SendPFC(prio, true)
+	// Refresh at half the pause duration while still pausing.
+	s.sim.After(link.DefaultPauseDuration/2, func() {
+		s.sendPause(inPort, prio)
+	})
+}
+
+// PortStats returns the accumulated counters of port i.
+func (s *Switch) PortStats(i int) link.PortStats { return s.ports[i].Stats }
+
+// PauseReceived sums XOFF frames received across all ports — the Fig. 15
+// metric when evaluated at spine switches.
+func (s *Switch) PauseReceived() int64 {
+	var n int64
+	for _, p := range s.ports {
+		n += p.Stats.PauseRx
+	}
+	return n
+}
+
+// PauseSentTotal sums XOFF frames sent across all ports.
+func (s *Switch) PauseSentTotal() int64 { return s.Stats.PauseSent }
+
+// RouteChoice returns the egress port the switch would pick for a packet
+// with the given tuple — the ECMP decision exposed for experiments that
+// need to construct or detect hash collisions (e.g. the multi-bottleneck
+// parking lot of Fig. 20).
+func (s *Switch) RouteChoice(tuple packet.FiveTuple) (port int, ok bool) {
+	outs, found := s.routes[tuple.Dst]
+	if !found || len(outs) == 0 {
+		return 0, false
+	}
+	if len(outs) == 1 {
+		return outs[0], true
+	}
+	return outs[tuple.Hash(s.cfg.ECMPSeed)%uint64(len(outs))], true
+}

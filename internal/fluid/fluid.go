@@ -1,0 +1,395 @@
+// Package fluid implements the DCQCN fluid model of §5: the
+// delay-differential equations (5)-(9) describing N flows sharing one
+// bottleneck, the heterogeneous-rate extension of Eq. (11), numerical
+// integration, and the fixed-point solver used to derive the paper's
+// parameter recommendations.
+//
+// The model tracks, per flow i, the current rate RC_i, target rate RT_i
+// and rate-reduction factor α_i, coupled through the bottleneck queue q:
+//
+//	p(t)      = marking law of Fig. 5 applied to q(t)                    (5)
+//	dq/dt     = Σ_i RC_i(t) − C                                          (6, 11)
+//	dα_i/dt   = g/τ' · [(1 − (1−p')^{τ'·RC_i'}) − α_i(t)]                (7)
+//	dRT_i/dt  = −(RT_i−RC_i)/τ · (1 − (1−p')^{τ·RC_i'})                  (8)
+//	          + R_AI·RC_i'·p'/((1−p')^{−B} − 1) · (1−p')^{F·B}
+//	          + R_AI·RC_i'·p'/((1−p')^{−T·RC_i'} − 1) · (1−p')^{F·T·RC_i'}
+//	dRC_i/dt  = −RC_i·α_i/(2τ) · (1 − (1−p')^{τ·RC_i'})                  (9)
+//	          + (RT_i−RC_i)/2 · RC_i'·p'/((1−p')^{−B} − 1)
+//	          + (RT_i−RC_i)/2 · RC_i'·p'/((1−p')^{−T·RC_i'} − 1)
+//
+// where primes denote values delayed by the control-loop delay τ*
+// (CNP-interval plus RTT; the paper uses 50 µs), rates inside exponents
+// are in packets per second, B is the byte counter in packets, T the
+// rate-increase timer, F the fast-recovery stage count and the hyper
+// increase phase is ignored as in the paper's reference model.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/simtime"
+)
+
+// Config describes one fluid-model scenario.
+type Config struct {
+	// Params carries the DCQCN parameters (marking law, g, B, T, F, R_AI,
+	// timers). ByteCounter and rates are converted to packet units using
+	// MTUBytes.
+	Params core.Params
+	// Capacity is the bottleneck bandwidth C.
+	Capacity simtime.Rate
+	// MTUBytes converts between bit rates and packet rates (paper: 1500).
+	MTUBytes int
+	// InitialRates gives each flow's starting rate; its length is N.
+	InitialRates []simtime.Rate
+	// FeedbackDelay is τ*, the control-loop delay (paper: 50 µs). Extra
+	// path RTT is added here for the robustness analysis of §5.2.
+	FeedbackDelay simtime.Duration
+	// Step is the Euler integration step (default 1 µs).
+	Step simtime.Duration
+	// Duration is the simulated horizon.
+	Duration simtime.Duration
+	// SampleEvery controls output density (default: every 10 steps).
+	SampleEvery simtime.Duration
+
+	// InitialAlpha optionally sets each flow's starting α (default 1,
+	// the hardware initial value). Used by the stability probe to start
+	// the model at its fixed point.
+	InitialAlpha []float64
+	// InitialTargets optionally sets each flow's starting RT (default:
+	// its initial rate).
+	InitialTargets []simtime.Rate
+	// InitialQueue sets the starting queue length in bytes.
+	InitialQueue float64
+}
+
+// DefaultConfig returns the paper's two-flow convergence scenario: one
+// flow at 40 Gb/s, one at 5 Gb/s, production parameters.
+func DefaultConfig() Config {
+	return Config{
+		Params:        core.DefaultParams(),
+		Capacity:      40 * simtime.Gbps,
+		MTUBytes:      1500,
+		InitialRates:  []simtime.Rate{40 * simtime.Gbps, 5 * simtime.Gbps},
+		FeedbackDelay: 50 * simtime.Microsecond,
+		Step:          simtime.Microsecond,
+		Duration:      200 * simtime.Millisecond,
+		SampleEvery:   10 * simtime.Microsecond,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case len(c.InitialRates) == 0:
+		return fmt.Errorf("fluid: need at least one flow")
+	case c.Capacity <= 0:
+		return fmt.Errorf("fluid: capacity must be positive")
+	case c.MTUBytes <= 0:
+		return fmt.Errorf("fluid: MTU must be positive")
+	case c.FeedbackDelay <= 0:
+		return fmt.Errorf("fluid: feedback delay must be positive")
+	case c.Step <= 0 || c.Duration < c.Step:
+		return fmt.Errorf("fluid: invalid step/duration")
+	}
+	for i, r := range c.InitialRates {
+		if r <= 0 {
+			return fmt.Errorf("fluid: flow %d initial rate must be positive", i)
+		}
+	}
+	return c.Params.Validate()
+}
+
+// Result holds sampled trajectories of the model.
+type Result struct {
+	// Time holds sample instants in seconds.
+	Time []float64
+	// Rates[i] is flow i's RC trajectory in bits/second.
+	Rates [][]float64
+	// Targets[i] is flow i's RT trajectory in bits/second.
+	Targets [][]float64
+	// Alpha[i] is flow i's α trajectory.
+	Alpha [][]float64
+	// Queue is the bottleneck queue in bytes.
+	Queue []float64
+}
+
+// RateDiff returns the mean |R1−R2| in bits/s between flows a and b over
+// samples with t >= after — the convergence metric of the Fig. 11 sweeps.
+func (r *Result) RateDiff(a, b int, after float64) float64 {
+	var acc float64
+	n := 0
+	for i, t := range r.Time {
+		if t < after {
+			continue
+		}
+		acc += math.Abs(r.Rates[a][i] - r.Rates[b][i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return acc / float64(n)
+}
+
+// QueueStats returns mean and standard deviation of the queue (bytes)
+// over samples with t >= after — the Fig. 12 metrics.
+func (r *Result) QueueStats(after float64) (mean, stddev float64) {
+	var acc float64
+	n := 0
+	for i, t := range r.Time {
+		if t < after {
+			continue
+		}
+		acc += r.Queue[i]
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	mean = acc / float64(n)
+	var varAcc float64
+	for i, t := range r.Time {
+		if t < after {
+			continue
+		}
+		d := r.Queue[i] - mean
+		varAcc += d * d
+	}
+	return mean, math.Sqrt(varAcc / float64(n))
+}
+
+// Solve integrates the model with explicit Euler steps and returns the
+// sampled trajectories.
+func Solve(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.InitialRates)
+	mtuBits := float64(cfg.MTUBytes) * 8
+	dt := cfg.Step.Seconds()
+	steps := int(cfg.Duration / cfg.Step)
+	delaySteps := int(cfg.FeedbackDelay / cfg.Step)
+	if delaySteps < 1 {
+		delaySteps = 1
+	}
+	sampleEvery := int(cfg.SampleEvery / cfg.Step)
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+
+	p := cfg.Params
+	tau := p.CNPInterval.Seconds()     // τ: CNP spacing (cut window)
+	tauPrime := p.AlphaTimer.Seconds() // τ': alpha update interval
+	timerT := p.RateTimer.Seconds()    // T: rate-increase timer
+	bPkts := float64(p.ByteCounter) / float64(cfg.MTUBytes)
+	fStages := float64(p.F)
+	rAI := float64(p.RAI) / mtuBits // packets/s
+	capacity := float64(cfg.Capacity) / mtuBits
+
+	// State in packets/second.
+	rc := make([]float64, n)
+	rt := make([]float64, n)
+	alpha := make([]float64, n)
+	for i, r := range cfg.InitialRates {
+		rc[i] = float64(r) / mtuBits
+		rt[i] = rc[i]
+		alpha[i] = 1
+		if i < len(cfg.InitialTargets) && cfg.InitialTargets[i] > 0 {
+			rt[i] = float64(cfg.InitialTargets[i]) / mtuBits
+		}
+		if i < len(cfg.InitialAlpha) && cfg.InitialAlpha[i] > 0 {
+			alpha[i] = cfg.InitialAlpha[i]
+		}
+	}
+	q := cfg.InitialQueue // bytes
+
+	// Delay lines: p(t−τ*) and rc_i(t−τ*).
+	pHist := make([]float64, delaySteps)
+	rcHist := make([][]float64, delaySteps)
+	for i := range rcHist {
+		rcHist[i] = make([]float64, n)
+		copy(rcHist[i], rc)
+	}
+
+	res := &Result{
+		Rates:   make([][]float64, n),
+		Targets: make([][]float64, n),
+		Alpha:   make([][]float64, n),
+	}
+	lineRate := float64(p.LineRate) / mtuBits
+	minRate := float64(p.MinRate) / mtuBits
+
+	for step := 0; step < steps; step++ {
+		if step%sampleEvery == 0 {
+			res.Time = append(res.Time, float64(step)*dt)
+			res.Queue = append(res.Queue, q)
+			for i := 0; i < n; i++ {
+				res.Rates[i] = append(res.Rates[i], rc[i]*mtuBits)
+				res.Targets[i] = append(res.Targets[i], rt[i]*mtuBits)
+				res.Alpha[i] = append(res.Alpha[i], alpha[i])
+			}
+		}
+
+		h := step % delaySteps
+		pDel := pHist[h]
+		rcDel := rcHist[h]
+
+		// Record current values into the delay line (they will be read
+		// delaySteps steps from now).
+		pNow := p.MarkingProbability(int64(q))
+		pHist[h] = pNow
+		copy(rcHist[h], rc)
+
+		// Queue evolution (6)/(11), in bytes.
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += rc[i]
+		}
+		q += (sum - capacity) * float64(cfg.MTUBytes) * dt
+		if q < 0 {
+			q = 0
+		}
+
+		if pDel >= 1 {
+			pDel = 1 - 1e-12
+		}
+		onemp := 1 - pDel
+		logOnemp := math.Log(onemp)
+
+		for i := 0; i < n; i++ {
+			rcD := rcDel[i]
+			// Probability that a CNP window contains a mark.
+			pCut := 1 - math.Exp(float64(tau*rcD)*logOnemp)
+			// Event rates of the byte-counter and timer increase stages:
+			// p/((1−p)^{−B}−1) ≈ 1/B and p/((1−p)^{−T·R}−1) ≈ 1/(T·R).
+			var evB, evT float64
+			if pDel > 0 {
+				evB = rcD * pDel / (math.Exp(-bPkts*logOnemp) - 1)
+				evT = rcD * pDel / (math.Exp(-timerT*rcD*logOnemp) - 1)
+			} else {
+				evB = rcD / bPkts
+				if timerT > 0 {
+					evT = 1 / timerT
+				}
+			}
+			// Probability of having survived F stages (AI phase reached).
+			aiB := math.Exp(fStages * bPkts * logOnemp)
+			aiT := math.Exp(fStages * timerT * rcD * logOnemp)
+
+			dAlpha := p.G / tauPrime * (pCut - alpha[i])
+			dRT := -(rt[i]-rc[i])/tau*pCut + rAI*evB*aiB + rAI*evT*aiT
+			dRC := -rc[i]*alpha[i]/(2*tau)*pCut + (rt[i]-rc[i])/2*(evB+evT)
+
+			alpha[i] += dAlpha * dt
+			rt[i] += dRT * dt
+			rc[i] += dRC * dt
+
+			if alpha[i] < 0 {
+				alpha[i] = 0
+			} else if alpha[i] > 1 {
+				alpha[i] = 1
+			}
+			if rt[i] > lineRate {
+				rt[i] = lineRate
+			}
+			if rc[i] > lineRate {
+				rc[i] = lineRate
+			}
+			if rc[i] < minRate {
+				rc[i] = minRate
+			}
+			if rt[i] < rc[i] {
+				rt[i] = rc[i]
+			}
+		}
+	}
+	return res, nil
+}
+
+// FixedPoint solves the equilibrium of the symmetric N-flow model: the
+// marking probability p*, queue length q*, target rate RT* and α* at
+// which all derivatives vanish with RC = C/N (Eq. 10). It returns an
+// error if no equilibrium is bracketed, which happens only for
+// pathological parameters.
+type FixedPointResult struct {
+	P     float64 // marking probability at equilibrium
+	Queue float64 // queue length in bytes (from inverting the RED law)
+	RT    float64 // target rate, bits/s
+	Alpha float64
+}
+
+// FixedPoint computes the unique fixed point of the model for nFlows
+// greedy flows at bottleneck capacity.
+func FixedPoint(cfg Config, nFlows int) (FixedPointResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FixedPointResult{}, err
+	}
+	p := cfg.Params
+	mtuBits := float64(cfg.MTUBytes) * 8
+	rcStar := float64(cfg.Capacity) / mtuBits / float64(nFlows) // packets/s
+	tau := p.CNPInterval.Seconds()
+	tauPrime := p.AlphaTimer.Seconds()
+	timerT := p.RateTimer.Seconds()
+	bPkts := float64(p.ByteCounter) / float64(cfg.MTUBytes)
+	fStages := float64(p.F)
+	rAI := float64(p.RAI) / mtuBits
+
+	// residual(p): combine Eq. (8) and Eq. (9) at equilibrium, after
+	// eliminating RT via (9).
+	residual := func(pm float64) float64 {
+		onemp := 1 - pm
+		logOnemp := math.Log(onemp)
+		pCut := 1 - math.Exp(tau*rcStar*logOnemp)
+		evB := rcStar * pm / (math.Exp(-bPkts*logOnemp) - 1)
+		evT := rcStar * pm / (math.Exp(-timerT*rcStar*logOnemp) - 1)
+		alphaStar := 1 - math.Exp(tauPrime*rcStar*logOnemp) // from (7)=0
+		// From (9)=0: (RT−RC) = RC·α·pCut / (τ·(evB+evT)).
+		gap := rcStar * alphaStar * pCut / (tau * (evB + evT))
+		// Into (8)=0: gap/τ·pCut = R_AI(evB·aiB + evT·aiT).
+		aiB := math.Exp(fStages * bPkts * logOnemp)
+		aiT := math.Exp(fStages * timerT * rcStar * logOnemp)
+		return gap/tau*pCut - rAI*(evB*aiB+evT*aiT)
+	}
+
+	lo, hi := 1e-9, 0.999
+	flo := residual(lo)
+	if flo > 0 {
+		return FixedPointResult{}, fmt.Errorf("fluid: no equilibrium bracketed (residual(%g)=%g > 0)", lo, flo)
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: p spans decades
+		if residual(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	pStar := math.Sqrt(lo * hi)
+	onemp := 1 - pStar
+	logOnemp := math.Log(onemp)
+	pCut := 1 - math.Exp(tau*rcStar*logOnemp)
+	alphaStar := 1 - math.Exp(tauPrime*rcStar*logOnemp)
+	evB := rcStar * pStar / (math.Exp(-bPkts*logOnemp) - 1)
+	evT := rcStar * pStar / (math.Exp(-timerT*rcStar*logOnemp) - 1)
+	gap := rcStar * alphaStar * pCut / (tau * (evB + evT))
+
+	// Invert the RED law for the queue.
+	var queue float64
+	switch {
+	case pStar <= 0:
+		queue = float64(p.KMin)
+	case pStar >= p.PMax:
+		queue = float64(p.KMax)
+	default:
+		queue = float64(p.KMin) + pStar/p.PMax*float64(p.KMax-p.KMin)
+	}
+	return FixedPointResult{
+		P:     pStar,
+		Queue: queue,
+		RT:    (rcStar + gap) * mtuBits,
+		Alpha: alphaStar,
+	}, nil
+}

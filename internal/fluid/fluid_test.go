@@ -1,0 +1,307 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/simtime"
+)
+
+func TestValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.InitialRates = nil },
+		func(c *Config) { c.Capacity = 0 },
+		func(c *Config) { c.MTUBytes = 0 },
+		func(c *Config) { c.FeedbackDelay = 0 },
+		func(c *Config) { c.Step = 0 },
+		func(c *Config) { c.InitialRates = []simtime.Rate{0} },
+		func(c *Config) { c.Params.G = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if _, err := Solve(c); err == nil {
+			t.Errorf("case %d: invalid config solved", i)
+		}
+	}
+}
+
+// TestTunedParametersConverge reproduces the headline of §5.2: with the
+// production parameters (fast timer + RED marking + g=1/256), two flows
+// starting at 40G and 5G converge to the fair share.
+func TestTunedParametersConverge(t *testing.T) {
+	res, err := Solve(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Time) - 1
+	r1, r2 := res.Rates[0][last], res.Rates[1][last]
+	fair := 20e9
+	if math.Abs(r1-fair) > 0.25*fair || math.Abs(r2-fair) > 0.25*fair {
+		t.Fatalf("final rates %.2fG / %.2fG, want ~20G each", r1/1e9, r2/1e9)
+	}
+	// Sum near capacity (the queue is non-empty, so the link is busy).
+	if sum := r1 + r2; math.Abs(sum-40e9) > 0.15*40e9 {
+		t.Fatalf("final sum %.2fG, want ~40G", sum/1e9)
+	}
+	// Convergence metric small over the second half.
+	if diff := res.RateDiff(0, 1, 0.1); diff > 3e9 {
+		t.Fatalf("mean |r1-r2| = %.2fG after 100ms, want < 3G", diff/1e9)
+	}
+}
+
+// TestStrawmanDoesNotConverge reproduces Fig. 11(a)'s inner edge: with
+// QCN/DCTCP-recommended parameters the two flows fail to approach each
+// other anywhere near as closely.
+func TestStrawmanDoesNotConverge(t *testing.T) {
+	tuned, err := Solve(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Params = core.StrawmanParams()
+	straw, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTuned := tuned.RateDiff(0, 1, 0.01)
+	dStraw := straw.RateDiff(0, 1, 0.01)
+	if dStraw < 3*dTuned {
+		t.Fatalf("strawman diff %.2fG vs tuned %.2fG: strawman should be far worse",
+			dStraw/1e9, dTuned/1e9)
+	}
+}
+
+// TestFasterTimerRestoresConvergence reproduces Fig. 11(b): keeping the
+// strawman's cut-off marking but speeding the rate timer to 55 µs (with a
+// large byte counter) restores convergence.
+func TestFasterTimerRestoresConvergence(t *testing.T) {
+	strawCfg := DefaultConfig()
+	strawCfg.Params = core.StrawmanParams()
+	straw, err := Solve(strawCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedCfg := DefaultConfig()
+	fixedCfg.Params = core.StrawmanParams()
+	fixedCfg.Params.RateTimer = 55 * simtime.Microsecond
+	fixedCfg.Params.ByteCounter = 10 * 1000 * 1000
+	fixed, err := Solve(fixedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dStraw := straw.RateDiff(0, 1, 0.05)
+	dFixed := fixed.RateDiff(0, 1, 0.05)
+	if dFixed > dStraw/2 {
+		t.Fatalf("fast timer diff %.2fG vs strawman %.2fG: timer should help",
+			dFixed/1e9, dStraw/1e9)
+	}
+}
+
+// TestSmallerGStabilizesQueue reproduces Fig. 12: with flows starting at
+// line rate (incast), g=1/256 yields lower queue oscillation than g=1/16.
+// The equilibrium mean is nearly g-independent (the fixed point does not
+// involve g); what g buys is stability, which the paper's traces show as
+// lower and flatter queues.
+func TestSmallerGStabilizesQueue(t *testing.T) {
+	run := func(g float64, n int) (std, peak float64) {
+		cfg := DefaultConfig()
+		cfg.Params.G = g
+		cfg.InitialRates = make([]simtime.Rate, n)
+		for i := range cfg.InitialRates {
+			cfg.InitialRates[i] = 40 * simtime.Gbps // hyper-fast start
+		}
+		cfg.Duration = 100 * simtime.Millisecond
+		res, err := Solve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, std = res.QueueStats(0.02)
+		for i, tt := range res.Time {
+			if tt >= 0.02 && res.Queue[i] > peak {
+				peak = res.Queue[i]
+			}
+		}
+		return std, peak
+	}
+	// 2:1 incast: the difference is dramatic.
+	s16, p16 := run(1.0/16, 2)
+	s256, p256 := run(1.0/256, 2)
+	if s256 >= s16/2 {
+		t.Fatalf("2:1 queue stddev g=1/256 (%.0fB) should be well below g=1/16 (%.0fB)", s256, s16)
+	}
+	if p256 >= p16 {
+		t.Fatalf("2:1 queue peak g=1/256 (%.0fB) should undercut g=1/16 (%.0fB)", p256, p16)
+	}
+	// 16:1 incast: oscillation remains, but small g must not be worse.
+	s16i, p16i := run(1.0/16, 16)
+	s256i, p256i := run(1.0/256, 16)
+	if s256i > s16i*1.05 || p256i > p16i*1.05 {
+		t.Fatalf("16:1 g=1/256 (std %.0f, peak %.0f) worse than g=1/16 (std %.0f, peak %.0f)",
+			s256i, p256i, s16i, p16i)
+	}
+}
+
+// TestFixedPoint verifies the §5.1 claims: the equilibrium marking
+// probability is below 1% and the stable queue is an order of magnitude
+// above the 5KB K_min.
+func TestFixedPoint(t *testing.T) {
+	fp, err := FixedPoint(DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.P <= 0 || fp.P >= 0.01 {
+		t.Fatalf("equilibrium p = %g, paper says < 1%%", fp.P)
+	}
+	if fp.Queue < 5000 || fp.Queue > 200000 {
+		t.Fatalf("equilibrium queue %.0fB outside (KMin, KMax)", fp.Queue)
+	}
+	// "the stable queue length is usually one order of magnitude larger
+	// than 5KB KMin".
+	if fp.Queue < 20000 {
+		t.Logf("note: equilibrium queue %.0fB (paper suggests ~10x KMin)", fp.Queue)
+	}
+	if fp.Alpha <= 0 || fp.Alpha >= 1 {
+		t.Fatalf("equilibrium alpha %g out of range", fp.Alpha)
+	}
+	if fp.RT < 20e9/2 {
+		t.Fatalf("equilibrium RT %.2fG below RC", fp.RT/1e9)
+	}
+}
+
+// TestFixedPointMatchesTrajectory: after convergence, the simulated queue
+// should hover near the analytic equilibrium.
+func TestFixedPointMatchesTrajectory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 300 * simtime.Millisecond
+	res, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := FixedPoint(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := res.QueueStats(0.2)
+	if mean <= 0 {
+		t.Fatal("queue collapsed to zero at equilibrium")
+	}
+	ratio := mean / fp.Queue
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("trajectory queue mean %.0fB vs fixed point %.0fB (ratio %.2f)",
+			mean, fp.Queue, ratio)
+	}
+}
+
+// TestMoreFlowsDeeperQueue: queue at equilibrium grows with incast degree
+// (each flow contributes its own cut/recover sawtooth).
+func TestMoreFlowsDeeperQueue(t *testing.T) {
+	q := func(n int) float64 {
+		fp, err := FixedPoint(DefaultConfig(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp.Queue
+	}
+	if !(q(2) < q(8) && q(8) < q(16)) {
+		t.Fatalf("queue not increasing with flows: %f %f %f", q(2), q(8), q(16))
+	}
+}
+
+// TestExtraFeedbackDelayStillConverges mirrors §5.2's robustness note:
+// an extra 50 µs of feedback latency barely slows convergence.
+func TestExtraFeedbackDelayStillConverges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FeedbackDelay = 100 * simtime.Microsecond
+	res, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.RateDiff(0, 1, 0.1); diff > 4e9 {
+		t.Fatalf("with 100us delay mean diff %.2fG, want convergence", diff/1e9)
+	}
+}
+
+func TestResultShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 10 * simtime.Millisecond
+	res, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Time) == 0 {
+		t.Fatal("no samples")
+	}
+	for i := range res.Rates {
+		if len(res.Rates[i]) != len(res.Time) || len(res.Alpha[i]) != len(res.Time) {
+			t.Fatal("ragged result arrays")
+		}
+	}
+	if len(res.Queue) != len(res.Time) {
+		t.Fatal("queue length mismatch")
+	}
+	for _, q := range res.Queue {
+		if q < 0 || math.IsNaN(q) {
+			t.Fatalf("invalid queue sample %g", q)
+		}
+	}
+	for i := range res.Rates {
+		for _, r := range res.Rates[i] {
+			if r < 0 || r > 40e9*1.001 || math.IsNaN(r) {
+				t.Fatalf("invalid rate sample %g", r)
+			}
+		}
+	}
+}
+
+// TestStabilityProbe: the deployed parameters are stable around the
+// fixed point — perturbations decay (the property the paper's future
+// work aims to prove analytically).
+func TestStabilityProbe(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 150 * simtime.Millisecond
+	for _, n := range []int{2, 8} {
+		res, err := StabilityProbe(cfg, n, 0.5)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.Stable {
+			t.Errorf("n=%d: perturbation did not decay (%.2fG -> %.2fG)",
+				n, res.InitialDeviation/1e9, res.FinalDeviation/1e9)
+		}
+		if math.IsNaN(res.HalfLife) || res.HalfLife <= 0 {
+			t.Errorf("n=%d: no half life measured", n)
+		}
+	}
+}
+
+// TestStabilityProbeStartsAtEquilibrium: with zero perturbation the
+// probe must error out (nothing to measure), and initial-state injection
+// must hold the model near its fixed point.
+func TestStabilityProbeInitialState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 20 * simtime.Millisecond
+	fp, err := FixedPoint(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InitialRates = []simtime.Rate{20 * simtime.Gbps, 20 * simtime.Gbps}
+	cfg.InitialTargets = []simtime.Rate{simtime.Rate(fp.RT), simtime.Rate(fp.RT)}
+	cfg.InitialAlpha = []float64{fp.Alpha, fp.Alpha}
+	cfg.InitialQueue = fp.Queue
+	res, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model should hover near the fair share throughout.
+	for i := range res.Time {
+		if math.Abs(res.Rates[0][i]-20e9) > 5e9 {
+			t.Fatalf("rate wandered to %.2fG at t=%.3fs despite equilibrium start",
+				res.Rates[0][i]/1e9, res.Time[i])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"dcqcn/internal/simtime"
+)
+
+// StabilityResult reports how a rate perturbation around the model's
+// fixed point evolves — the stability analysis the paper lists as future
+// work (§5.3), done numerically rather than by linearization.
+type StabilityResult struct {
+	// Stable reports whether the perturbation decayed (final deviation
+	// below a tenth of the initial one).
+	Stable bool
+	// HalfLife is the time until the deviation envelope first halved
+	// (NaN if it never did within the horizon).
+	HalfLife float64
+	// InitialDeviation and FinalDeviation are in bits/second.
+	InitialDeviation float64
+	FinalDeviation   float64
+}
+
+// StabilityProbe starts nFlows at the model's fixed point, perturbs flow
+// 0's rate by the given relative amount (e.g. 0.2 for +20%), integrates,
+// and measures whether the system returns to equilibrium.
+func StabilityProbe(cfg Config, nFlows int, perturb float64) (StabilityResult, error) {
+	fp, err := FixedPoint(cfg, nFlows)
+	if err != nil {
+		return StabilityResult{}, err
+	}
+	fair := float64(cfg.Capacity) / float64(nFlows)
+
+	cfg.InitialRates = make([]simtime.Rate, nFlows)
+	cfg.InitialTargets = make([]simtime.Rate, nFlows)
+	cfg.InitialAlpha = make([]float64, nFlows)
+	for i := range cfg.InitialRates {
+		cfg.InitialRates[i] = simtime.Rate(fair)
+		cfg.InitialTargets[i] = simtime.Rate(fp.RT)
+		cfg.InitialAlpha[i] = fp.Alpha
+	}
+	cfg.InitialRates[0] = simtime.Rate(fair * (1 + perturb))
+	cfg.InitialQueue = fp.Queue
+
+	res, err := Solve(cfg)
+	if err != nil {
+		return StabilityResult{}, err
+	}
+
+	// Deviation envelope of the perturbed flow around the fair share.
+	dev := func(i int) float64 { return math.Abs(res.Rates[0][i] - fair) }
+	out := StabilityResult{InitialDeviation: dev(0)}
+	if out.InitialDeviation == 0 {
+		return out, fmt.Errorf("fluid: perturbation had no effect")
+	}
+	out.HalfLife = math.NaN()
+	// Use a running maximum over trailing windows so oscillations do not
+	// fake decay: the envelope at time t is the max deviation in [t, t+w].
+	window := len(res.Time) / 20
+	if window < 1 {
+		window = 1
+	}
+	envelope := make([]float64, len(res.Time))
+	for i := range res.Time {
+		m := 0.0
+		for j := i; j < len(res.Time) && j < i+window; j++ {
+			if d := dev(j); d > m {
+				m = d
+			}
+		}
+		envelope[i] = m
+	}
+	for i, t := range res.Time {
+		if math.IsNaN(out.HalfLife) && envelope[i] <= out.InitialDeviation/2 {
+			out.HalfLife = t
+		}
+	}
+	out.FinalDeviation = envelope[len(envelope)-1]
+	out.Stable = out.FinalDeviation <= out.InitialDeviation/10
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package hostmodel
+
+import (
+	"testing"
+
+	"dcqcn/internal/simtime"
+)
+
+// TestFig1aThroughputShape: RDMA saturates the link at every size; TCP
+// only at large messages.
+func TestFig1aThroughputShape(t *testing.T) {
+	m := DefaultMachine()
+	tcp, rdma := TCPStack(), RDMAWriteStack()
+	lineGoodput := simtime.Rate(float64(m.NICRate) * 0.9)
+
+	for _, p := range rdma.Sweep(m) {
+		if p.Throughput < lineGoodput {
+			t.Errorf("RDMA at %dB only %v; single QP should saturate", p.MessageBytes, p.Throughput)
+		}
+		if p.CPUBound {
+			t.Errorf("RDMA CPU-bound at %dB", p.MessageBytes)
+		}
+	}
+
+	small := tcp.Evaluate(m, 4000)
+	if !small.CPUBound {
+		t.Error("TCP at 4KB should be CPU-bound")
+	}
+	if small.Throughput > 30*simtime.Gbps {
+		t.Errorf("TCP at 4KB reaches %v; paper shows it cannot saturate", small.Throughput)
+	}
+	big := tcp.Evaluate(m, 4e6)
+	if big.Throughput < 35*simtime.Gbps {
+		t.Errorf("TCP at 4MB reaches only %v; paper shows ~line rate", big.Throughput)
+	}
+	// Throughput is monotone in message size for TCP.
+	prev := simtime.Rate(0)
+	for _, p := range tcp.Sweep(m) {
+		if p.Throughput < prev {
+			t.Errorf("TCP throughput not monotone at %dB", p.MessageBytes)
+		}
+		prev = p.Throughput
+	}
+}
+
+// TestFig1bCPUShape: TCP >20% at 4MB full rate; RDMA client <3%, server
+// ~0 at every size.
+func TestFig1bCPUShape(t *testing.T) {
+	m := DefaultMachine()
+	tcp := TCPStack().Evaluate(m, 4e6)
+	if tcp.ReceiverCPU < 0.20 {
+		t.Errorf("TCP server CPU at 4MB = %.1f%%, paper says >20%%", tcp.ReceiverCPU*100)
+	}
+	for _, p := range RDMAWriteStack().Sweep(m) {
+		if p.SenderCPU > 0.03 {
+			t.Errorf("RDMA client CPU at %dB = %.2f%%, paper says <3%%", p.MessageBytes, p.SenderCPU*100)
+		}
+		if p.ReceiverCPU != 0 {
+			t.Errorf("RDMA (single-sided) server CPU at %dB = %.2f%%, want 0", p.MessageBytes, p.ReceiverCPU*100)
+		}
+	}
+}
+
+// TestFig1cLatency: 2KB transfer latencies match the paper's ordering
+// and approximate magnitudes: TCP ~25.4us, RDMA write ~1.7us, send ~2.8us.
+func TestFig1cLatency(t *testing.T) {
+	m := DefaultMachine()
+	const msg = 2000
+	tcp := TCPStack().Latency(m, msg)
+	write := RDMAWriteStack().Latency(m, msg)
+	send := RDMASendStack().Latency(m, msg)
+
+	within := func(got simtime.Duration, wantUs, tolUs float64) bool {
+		return got.Microseconds() > wantUs-tolUs && got.Microseconds() < wantUs+tolUs
+	}
+	if !within(tcp, 25.4, 1.5) {
+		t.Errorf("TCP 2KB latency %v, paper says ~25.4us", tcp)
+	}
+	if !within(write, 1.7, 0.3) {
+		t.Errorf("RDMA write 2KB latency %v, paper says ~1.7us", write)
+	}
+	if !within(send, 2.8, 0.4) {
+		t.Errorf("RDMA send 2KB latency %v, paper says ~2.8us", send)
+	}
+	if !(write < send && send < tcp) {
+		t.Error("latency ordering violated")
+	}
+	if tcp < 10*write {
+		t.Error("paper shows an order-of-magnitude TCP/RDMA latency gap")
+	}
+}
+
+func TestEvaluateConsistency(t *testing.T) {
+	m := DefaultMachine()
+	for _, s := range []Stack{TCPStack(), RDMAWriteStack(), RDMASendStack()} {
+		for _, p := range s.Sweep(m) {
+			if p.Throughput <= 0 || p.Throughput > m.NICRate {
+				t.Errorf("%s at %dB: throughput %v out of range", s.Name, p.MessageBytes, p.Throughput)
+			}
+			if p.SenderCPU < 0 || p.SenderCPU > 1.0001 || p.ReceiverCPU < 0 || p.ReceiverCPU > 1.0001 {
+				t.Errorf("%s at %dB: CPU out of range: %+v", s.Name, p.MessageBytes, p)
+			}
+			if p.String() == "" {
+				t.Error("empty point string")
+			}
+		}
+	}
+}

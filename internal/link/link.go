@@ -1,0 +1,402 @@
+// Package link models full-duplex point-to-point Ethernet links and the
+// transmit side of device ports.
+//
+// A Port owns eight per-priority egress FIFOs, a strict-priority scheduler
+// and the PFC pause state for its link. Both NICs and switches embed Ports,
+// so the PFC semantics — per-priority XOFF/XON with quanta-based expiry,
+// transmissions in progress never abandoned — live in exactly one place.
+//
+// A Link joins two Ports and adds serialization (at the port rate) plus
+// propagation delay. Store-and-forward is assumed: the receiving device
+// sees a packet only after its last bit arrives.
+package link
+
+import (
+	"fmt"
+
+	"dcqcn/internal/engine"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/simtime"
+)
+
+// Receiver consumes packets a port delivers to its owning device. PFC
+// frames are consumed by the port itself and are not passed to the
+// Receiver; all other packets are.
+type Receiver interface {
+	HandlePacket(p *packet.Packet, port *Port)
+}
+
+// DefaultPauseDuration is the pause time carried by an XOFF frame:
+// the maximum 65535 PFC quanta of 512 bit-times at 40 Gb/s (~839 µs).
+// The pausing device refreshes XOFF at half this interval while its
+// ingress queue remains above threshold, as real switches do, which is
+// what makes PAUSE-frame counts (Fig. 15) proportional to congestion
+// duration.
+const DefaultPauseDuration = simtime.Duration(65535*512) * (simtime.Second / (40 * 1000 * 1000 * 1000))
+
+// PortStats counts per-port activity.
+type PortStats struct {
+	TxPackets   int64
+	TxBytes     int64
+	RxPackets   int64
+	RxBytes     int64
+	PauseTx     int64 // XOFF frames sent
+	PauseRx     int64 // XOFF frames received
+	ResumeTx    int64 // XON frames sent
+	ResumeRx    int64 // XON frames received
+	PausedFor   [packet.NumPriorities]simtime.Duration
+	Drops       int64
+	pauseActive [packet.NumPriorities]bool
+	pausedSince [packet.NumPriorities]simtime.Time
+}
+
+// Port is one side of a link: a strict-priority, PFC-aware transmitter
+// plus the receive hook of its owning device.
+type Port struct {
+	Name string
+	// Index is the owning device's port number; devices use it for
+	// routing tables and ingress accounting.
+	Index int
+
+	sim  *engine.Sim
+	rate simtime.Rate
+	recv Receiver
+	link *Link
+	peer *Port
+
+	queues      [packet.NumPriorities]fifo
+	queuedBytes [packet.NumPriorities]int64
+	pausedUntil [packet.NumPriorities]simtime.Time
+	busy        bool
+
+	// DRR state (EnableDRR): deficit counters and round pointer for the
+	// data classes.
+	drr        bool
+	drrQuantum int64
+	deficits   [packet.NumPriorities]int64
+	drrNext    int
+	drrServing bool
+
+	// OnDeparture, if set, runs when a packet's last bit leaves the port.
+	// Switches use it to release shared-buffer accounting.
+	OnDeparture func(p *packet.Packet)
+	// OnPFC, if set, observes PFC frames this port receives (after the
+	// pause state has been updated); used for experiment counters.
+	OnPFC func(p *packet.Packet)
+
+	Stats PortStats
+}
+
+// NewPort creates a port transmitting at rate whose received packets are
+// handed to recv.
+func NewPort(sim *engine.Sim, name string, index int, rate simtime.Rate, recv Receiver) *Port {
+	if rate <= 0 {
+		panic("link: port rate must be positive")
+	}
+	return &Port{Name: name, Index: index, sim: sim, rate: rate, recv: recv}
+}
+
+// Rate returns the port's line rate.
+func (p *Port) Rate() simtime.Rate { return p.rate }
+
+// Peer returns the port at the other end of the link, or nil if unwired.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Connected reports whether the port is attached to a link.
+func (p *Port) Connected() bool { return p.link != nil }
+
+// QueuedBytes returns the bytes waiting in the egress FIFO of one
+// priority (excluding any frame currently serializing).
+func (p *Port) QueuedBytes(prio uint8) int64 { return p.queuedBytes[prio] }
+
+// TotalQueuedBytes returns bytes waiting across all priorities.
+func (p *Port) TotalQueuedBytes() int64 {
+	var total int64
+	for _, b := range p.queuedBytes {
+		total += b
+	}
+	return total
+}
+
+// Paused reports whether transmission of prio is currently inhibited by
+// PFC.
+func (p *Port) Paused(prio uint8) bool {
+	return p.sim.Now() < p.pausedUntil[prio]
+}
+
+// Enqueue places pkt on the egress FIFO of its priority and starts the
+// transmitter if idle.
+func (p *Port) Enqueue(pkt *packet.Packet) {
+	if !p.Connected() {
+		panic(fmt.Sprintf("link: enqueue on unconnected port %s", p.Name))
+	}
+	p.queues[pkt.Priority].push(pkt)
+	p.queuedBytes[pkt.Priority] += int64(pkt.Size)
+	p.kick()
+}
+
+// SendPFC transmits an XOFF (on=true) or XON PFC frame for prio. The
+// frame is queued at the highest priority class, ahead of all data.
+func (p *Port) SendPFC(prio uint8, on bool) {
+	pfc := packet.NewPFC(prio, on)
+	if on {
+		p.Stats.PauseTx++
+	} else {
+		p.Stats.ResumeTx++
+	}
+	p.Enqueue(pfc)
+}
+
+// nextPacket pops the next transmittable packet, or nil. Control classes
+// (PrioControl and above) are always served first, strictly; the data
+// classes below them follow either strict priority (default) or deficit
+// round robin when EnableDRR was called. PFC pause inhibits a class
+// until expiry or XON; control frames are never paused in practice
+// because nothing sends PAUSE for their classes.
+func (p *Port) nextPacket() *packet.Packet {
+	now := p.sim.Now()
+	eligible := func(prio int) bool {
+		return !p.queues[prio].empty() && now >= p.pausedUntil[prio]
+	}
+	// Control classes: strict priority always.
+	for prio := packet.NumPriorities - 1; prio >= packet.PrioControl; prio-- {
+		if eligible(prio) {
+			return p.popFrom(uint8(prio))
+		}
+	}
+	if !p.drr {
+		for prio := packet.PrioControl - 1; prio >= 0; prio-- {
+			if eligible(prio) {
+				return p.popFrom(uint8(prio))
+			}
+		}
+		return nil
+	}
+	// Deficit round robin over the data classes: a class earns quantum
+	// credit when its service turn begins and transmits packets while
+	// the credit covers them; idle classes forfeit credit.
+	for scanned := 0; scanned <= packet.PrioControl; scanned++ {
+		prio := p.drrNext
+		if !eligible(prio) {
+			p.deficits[prio] = 0 // idle classes do not hoard credit
+			p.drrServing = false
+			p.drrNext = (p.drrNext + 1) % packet.PrioControl
+			continue
+		}
+		if !p.drrServing {
+			p.deficits[prio] += p.drrQuantum
+			p.drrServing = true
+		}
+		if head := p.queues[prio].peek(); p.deficits[prio] >= int64(head.Size) {
+			p.deficits[prio] -= int64(head.Size)
+			return p.popFrom(uint8(prio))
+		}
+		// Credit exhausted: end this class's turn, keep its deficit.
+		p.drrServing = false
+		p.drrNext = (p.drrNext + 1) % packet.PrioControl
+	}
+	return nil
+}
+
+func (p *Port) popFrom(prio uint8) *packet.Packet {
+	pkt := p.queues[prio].pop()
+	p.queuedBytes[prio] -= int64(pkt.Size)
+	return pkt
+}
+
+// EnableDRR switches the data classes (below PrioControl) from strict
+// priority to deficit-round-robin scheduling with the given per-round
+// byte quantum — how real shared switches divide bandwidth between
+// traffic classes. Control classes stay strictly prioritized.
+func (p *Port) EnableDRR(quantum int64) {
+	// A quantum below the maximum frame size could leave a queue unable
+	// to earn enough credit in one turn, stalling the scheduler between
+	// kicks; real DRR implementations impose the same floor.
+	if quantum < packet.MaxFrameBytes {
+		panic("link: DRR quantum must be at least one maximum frame")
+	}
+	p.drr = true
+	p.drrQuantum = quantum
+}
+
+// kick starts a transmission if the port is idle and a transmittable
+// packet exists.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	pkt := p.nextPacket()
+	if pkt == nil {
+		return
+	}
+	p.busy = true
+	tx := p.rate.TxTime(pkt.Size)
+	p.sim.After(tx, func() {
+		p.busy = false
+		p.Stats.TxPackets++
+		p.Stats.TxBytes += int64(pkt.Size)
+		if p.OnDeparture != nil {
+			p.OnDeparture(pkt)
+		}
+		p.link.deliver(p, pkt)
+		p.kick()
+	})
+}
+
+// Kick re-evaluates the scheduler; devices call it after a pause expires
+// or when external state changes make previously blocked traffic eligible.
+func (p *Port) Kick() { p.kick() }
+
+// receive processes a packet whose last bit has arrived at this port.
+func (p *Port) receive(pkt *packet.Packet) {
+	p.Stats.RxPackets++
+	p.Stats.RxBytes += int64(pkt.Size)
+	switch pkt.Type {
+	case packet.Pause:
+		p.Stats.PauseRx++
+		prio := pkt.PausePrio
+		if !p.Stats.pauseActive[prio] {
+			p.Stats.pauseActive[prio] = true
+			p.Stats.pausedSince[prio] = p.sim.Now()
+		}
+		p.pausedUntil[prio] = p.sim.Now().Add(DefaultPauseDuration)
+		// Re-arm the scheduler when the pause expires in case no other
+		// event wakes the port.
+		p.sim.After(DefaultPauseDuration, func() {
+			if !p.Paused(prio) {
+				p.accountPauseEnd(prio)
+				p.kick()
+			}
+		})
+		if p.OnPFC != nil {
+			p.OnPFC(pkt)
+		}
+	case packet.Resume:
+		p.Stats.ResumeRx++
+		prio := pkt.PausePrio
+		if p.Paused(prio) {
+			p.pausedUntil[prio] = p.sim.Now()
+			p.accountPauseEnd(prio)
+		}
+		if p.OnPFC != nil {
+			p.OnPFC(pkt)
+		}
+		p.kick()
+	default:
+		p.recv.HandlePacket(pkt, p)
+	}
+}
+
+func (p *Port) accountPauseEnd(prio uint8) {
+	if p.Stats.pauseActive[prio] {
+		p.Stats.pauseActive[prio] = false
+		p.Stats.PausedFor[prio] += p.sim.Now().Sub(p.Stats.pausedSince[prio])
+	}
+}
+
+// Link is a full-duplex cable between two ports.
+type Link struct {
+	sim   *engine.Sim
+	a, b  *Port
+	delay simtime.Duration
+
+	// lossRate is the probability an individual frame is corrupted in
+	// flight (per direction), modelling the non-congestion losses the
+	// paper's §7 discusses (optical errors, silent switch drops). PFC
+	// control frames are link-local and never dropped: real PFC frames
+	// are tiny and protected, and losing one would model a different
+	// failure (a misbehaving device) rather than bit errors.
+	lossRate float64
+	// Lost counts frames dropped by loss injection.
+	Lost int64
+}
+
+// Connect wires ports a and b with the given one-way propagation delay.
+// Both ports must be unconnected.
+func Connect(sim *engine.Sim, a, b *Port, delay simtime.Duration) *Link {
+	if a.Connected() || b.Connected() {
+		panic("link: port already connected")
+	}
+	if delay < 0 {
+		panic("link: negative propagation delay")
+	}
+	l := &Link{sim: sim, a: a, b: b, delay: delay}
+	a.link, a.peer = l, b
+	b.link, b.peer = l, a
+	return l
+}
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() simtime.Duration { return l.delay }
+
+// deliver schedules arrival of pkt at the far end of the link.
+func (l *Link) deliver(from *Port, pkt *packet.Packet) {
+	to := l.a
+	if from == l.a {
+		to = l.b
+	}
+	if l.lossRate > 0 && !pkt.IsControl() && l.sim.Rand().Float64() < l.lossRate {
+		l.Lost++
+		return
+	}
+	l.sim.After(l.delay, func() { to.receive(pkt) })
+}
+
+// SetLossRate enables random frame corruption on the link with the given
+// per-frame probability (both directions). Use 0 to disable.
+func (l *Link) SetLossRate(p float64) {
+	if p < 0 || p >= 1 {
+		panic("link: loss rate must be in [0,1)")
+	}
+	l.lossRate = p
+}
+
+// fifo is a growable ring buffer of packets; a plain slice queue would
+// thrash the allocator at millions of packets per simulated second.
+type fifo struct {
+	buf        []*packet.Packet
+	head, tail int
+	n          int
+}
+
+func (f *fifo) empty() bool { return f.n == 0 }
+func (f *fifo) len() int    { return f.n }
+
+func (f *fifo) push(p *packet.Packet) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[f.tail] = p
+	f.tail = (f.tail + 1) % len(f.buf)
+	f.n++
+}
+
+func (f *fifo) peek() *packet.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	return f.buf[f.head]
+}
+
+func (f *fifo) pop() *packet.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return p
+}
+
+func (f *fifo) grow() {
+	size := len(f.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*packet.Packet, size)
+	for i := 0; i < f.n; i++ {
+		buf[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf, f.head, f.tail = buf, 0, f.n
+}

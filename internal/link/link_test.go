@@ -1,0 +1,350 @@
+package link
+
+import (
+	"testing"
+
+	"dcqcn/internal/engine"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/simtime"
+)
+
+// sink records everything a port delivers to its device.
+type sink struct {
+	got []*packet.Packet
+	at  []simtime.Time
+	sim *engine.Sim
+}
+
+func (s *sink) HandlePacket(p *packet.Packet, _ *Port) {
+	s.got = append(s.got, p)
+	s.at = append(s.at, s.sim.Now())
+}
+
+func pair(sim *engine.Sim, rate simtime.Rate, delay simtime.Duration) (*Port, *Port, *sink, *sink) {
+	sa, sb := &sink{sim: sim}, &sink{sim: sim}
+	a := NewPort(sim, "a", 0, rate, sa)
+	b := NewPort(sim, "b", 0, rate, sb)
+	Connect(sim, a, b, delay)
+	return a, b, sa, sb
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	sim := engine.New(1)
+	a, _, _, sb := pair(sim, 40*simtime.Gbps, 500*simtime.Nanosecond)
+	pkt := packet.NewData(1, packet.FiveTuple{}, 0, packet.MTU, false)
+	a.Enqueue(pkt)
+	sim.RunAll()
+	if len(sb.got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(sb.got))
+	}
+	// 1562 bytes at 40G = 312.4ns serialization + 500ns propagation.
+	want := simtime.Time(312400 + 500000)
+	if sb.at[0] != want {
+		t.Fatalf("delivered at %v, want %v", sb.at[0], want)
+	}
+}
+
+func TestBackToBackSerialization(t *testing.T) {
+	sim := engine.New(1)
+	a, _, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	for i := 0; i < 3; i++ {
+		a.Enqueue(packet.NewData(1, packet.FiveTuple{}, int64(i), packet.MTU, false))
+	}
+	sim.RunAll()
+	if len(sb.got) != 3 {
+		t.Fatalf("delivered %d, want 3", len(sb.got))
+	}
+	// Packets serialize back to back: arrivals at 1x, 2x, 3x tx time.
+	tx := simtime.Time(312400)
+	for i, at := range sb.at {
+		if at != tx*simtime.Time(i+1) {
+			t.Errorf("packet %d at %v, want %v", i, at, tx*simtime.Time(i+1))
+		}
+	}
+}
+
+func TestStrictPriority(t *testing.T) {
+	sim := engine.New(1)
+	a, _, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	low := packet.NewData(1, packet.FiveTuple{}, 0, packet.MTU, false)
+	low2 := packet.NewData(1, packet.FiveTuple{}, 1, packet.MTU, false)
+	high := packet.NewCNP(2, packet.FiveTuple{})
+	// Enqueue two low-priority packets, then a CNP. The first data packet
+	// is already serializing (never abandoned), but the CNP must overtake
+	// the second data packet.
+	a.Enqueue(low)
+	a.Enqueue(low2)
+	a.Enqueue(high)
+	sim.RunAll()
+	if len(sb.got) != 3 {
+		t.Fatalf("delivered %d, want 3", len(sb.got))
+	}
+	if sb.got[0] != low || sb.got[1] != high || sb.got[2] != low2 {
+		t.Fatalf("order %v %v %v; want DATA, CNP, DATA", sb.got[0].Type, sb.got[1].Type, sb.got[2].Type)
+	}
+}
+
+func TestPFCPausesOnlyThatPriority(t *testing.T) {
+	sim := engine.New(1)
+	a, b, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	// Pause the data class on a's transmitter by having b send XOFF.
+	b.SendPFC(packet.PrioData, true)
+	sim.Run(simtime.Time(1000 * simtime.Nanosecond))
+	if !a.Paused(packet.PrioData) {
+		t.Fatal("data class not paused after XOFF")
+	}
+	if a.Paused(packet.PrioControl) {
+		t.Fatal("control class wrongly paused")
+	}
+	data := packet.NewData(1, packet.FiveTuple{}, 0, packet.MTU, false)
+	cnp := packet.NewCNP(2, packet.FiveTuple{})
+	a.Enqueue(data)
+	a.Enqueue(cnp)
+	sim.Run(simtime.Time(5000 * simtime.Nanosecond))
+	if len(sb.got) != 1 || sb.got[0] != cnp {
+		t.Fatalf("paused class leaked: got %d packets", len(sb.got))
+	}
+	// XON releases the data packet.
+	b.SendPFC(packet.PrioData, false)
+	sim.Run(simtime.Time(10000 * simtime.Nanosecond))
+	if len(sb.got) != 2 || sb.got[1] != data {
+		t.Fatalf("data not released after XON: got %d packets", len(sb.got))
+	}
+	if a.Stats.PauseRx != 1 || a.Stats.ResumeRx != 1 {
+		t.Fatalf("pfc counters: pauseRx=%d resumeRx=%d", a.Stats.PauseRx, a.Stats.ResumeRx)
+	}
+	if a.Stats.PausedFor[packet.PrioData] <= 0 {
+		t.Fatal("paused duration not accounted")
+	}
+}
+
+func TestPauseExpires(t *testing.T) {
+	sim := engine.New(1)
+	a, b, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	b.SendPFC(packet.PrioData, true)
+	sim.Run(simtime.Time(1 * simtime.Microsecond))
+	a.Enqueue(packet.NewData(1, packet.FiveTuple{}, 0, packet.MTU, false))
+	sim.Run(simtime.Time(DefaultPauseDuration) / 2)
+	if len(sb.got) != 0 {
+		t.Fatal("packet sent while paused")
+	}
+	// Without refresh, the pause expires after DefaultPauseDuration and
+	// the queued packet flows.
+	sim.Run(simtime.Time(DefaultPauseDuration) * 2)
+	if len(sb.got) != 1 {
+		t.Fatalf("packet not released after pause expiry: got %d", len(sb.got))
+	}
+}
+
+func TestInFlightPacketNotAbandoned(t *testing.T) {
+	sim := engine.New(1)
+	a, b, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	a.Enqueue(packet.NewData(1, packet.FiveTuple{}, 0, packet.MTU, false))
+	// XOFF arrives while the data packet is serializing (tx takes 312ns;
+	// the 64B XOFF takes 12.8ns and lands well before that).
+	b.SendPFC(packet.PrioData, true)
+	sim.RunAll()
+	if len(sb.got) != 1 {
+		t.Fatal("in-flight packet was abandoned by PFC")
+	}
+}
+
+func TestQueuedBytesAccounting(t *testing.T) {
+	sim := engine.New(1)
+	a, b, _, _ := pair(sim, 40*simtime.Gbps, 0)
+	b.SendPFC(packet.PrioData, true)
+	sim.Run(simtime.Time(100 * simtime.Nanosecond))
+	for i := 0; i < 5; i++ {
+		a.Enqueue(packet.NewData(1, packet.FiveTuple{}, int64(i), packet.MTU, false))
+	}
+	want := int64(5 * (packet.MTU + packet.HeaderBytes))
+	if got := a.QueuedBytes(packet.PrioData); got != want {
+		t.Fatalf("queued %d bytes, want %d", got, want)
+	}
+	if got := a.TotalQueuedBytes(); got != want {
+		t.Fatalf("total queued %d bytes, want %d", got, want)
+	}
+	b.SendPFC(packet.PrioData, false)
+	sim.RunAll()
+	if got := a.TotalQueuedBytes(); got != 0 {
+		t.Fatalf("queue not drained: %d bytes left", got)
+	}
+}
+
+func TestOnDeparture(t *testing.T) {
+	sim := engine.New(1)
+	a, _, _, _ := pair(sim, 40*simtime.Gbps, 250*simtime.Nanosecond)
+	var departed []*packet.Packet
+	var departAt simtime.Time
+	a.OnDeparture = func(p *packet.Packet) { departed = append(departed, p); departAt = sim.Now() }
+	a.Enqueue(packet.NewData(1, packet.FiveTuple{}, 0, packet.MTU, false))
+	sim.RunAll()
+	if len(departed) != 1 {
+		t.Fatal("OnDeparture not invoked")
+	}
+	// Departure is at serialization end, before propagation.
+	if departAt != 312400 {
+		t.Fatalf("departed at %v, want 312.4ns", departAt)
+	}
+}
+
+func TestFIFORing(t *testing.T) {
+	var f fifo
+	if !f.empty() || f.pop() != nil {
+		t.Fatal("zero fifo should be empty")
+	}
+	var pkts []*packet.Packet
+	for i := 0; i < 100; i++ {
+		p := packet.NewData(1, packet.FiveTuple{}, int64(i), 10, false)
+		pkts = append(pkts, p)
+		f.push(p)
+	}
+	// Interleave pops and pushes to exercise wraparound.
+	for i := 0; i < 50; i++ {
+		if got := f.pop(); got != pkts[i] {
+			t.Fatalf("pop %d returned wrong packet", i)
+		}
+	}
+	for i := 100; i < 200; i++ {
+		p := packet.NewData(1, packet.FiveTuple{}, int64(i), 10, false)
+		pkts = append(pkts, p)
+		f.push(p)
+	}
+	for i := 50; i < 200; i++ {
+		if got := f.pop(); got != pkts[i] {
+			t.Fatalf("pop %d returned wrong packet (wraparound)", i)
+		}
+	}
+	if !f.empty() {
+		t.Fatal("fifo should be empty after draining")
+	}
+}
+
+func TestConnectPanics(t *testing.T) {
+	sim := engine.New(1)
+	s := &sink{sim: sim}
+	a := NewPort(sim, "a", 0, simtime.Gbps, s)
+	b := NewPort(sim, "b", 0, simtime.Gbps, s)
+	c := NewPort(sim, "c", 0, simtime.Gbps, s)
+	Connect(sim, a, b, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double connect did not panic")
+		}
+	}()
+	Connect(sim, a, c, 0)
+}
+
+func TestDRRSharesBandwidth(t *testing.T) {
+	sim := engine.New(1)
+	a, b, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	_ = b
+	a.EnableDRR(2 * packet.MaxFrameBytes)
+	// Two data classes, both backlogged with equal-size packets: DRR must
+	// interleave them ~1:1 even though class 4 would strictly dominate 3.
+	for i := 0; i < 100; i++ {
+		p3 := packet.NewData(1, packet.FiveTuple{}, int64(i), packet.MTU, false)
+		p3.Priority = 3
+		p4 := packet.NewData(2, packet.FiveTuple{}, int64(i), packet.MTU, false)
+		p4.Priority = 4
+		a.Enqueue(p3)
+		a.Enqueue(p4)
+	}
+	sim.RunAll()
+	if len(sb.got) != 200 {
+		t.Fatalf("delivered %d, want 200", len(sb.got))
+	}
+	// Count class shares in the first half of deliveries.
+	counts := map[uint8]int{}
+	for _, p := range sb.got[:100] {
+		counts[p.Priority]++
+	}
+	if counts[3] < 40 || counts[4] < 40 {
+		t.Fatalf("DRR shares skewed: %v", counts)
+	}
+}
+
+func TestDRRControlStillStrict(t *testing.T) {
+	sim := engine.New(1)
+	a, _, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	a.EnableDRR(2 * packet.MaxFrameBytes)
+	for i := 0; i < 5; i++ {
+		a.Enqueue(packet.NewData(1, packet.FiveTuple{}, int64(i), packet.MTU, false))
+	}
+	cnp := packet.NewCNP(2, packet.FiveTuple{})
+	a.Enqueue(cnp)
+	sim.RunAll()
+	// The CNP (control class) must overtake all queued data except the
+	// frame already serializing.
+	if sb.got[1] != cnp {
+		t.Fatalf("control frame delivered at position != 1 under DRR")
+	}
+}
+
+func TestStrictPriorityStillDefault(t *testing.T) {
+	sim := engine.New(1)
+	a, _, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	// Without EnableDRR, class 4 strictly beats class 3.
+	first := packet.NewData(9, packet.FiveTuple{}, 0, 100, false) // serializes first
+	a.Enqueue(first)
+	for i := 0; i < 10; i++ {
+		p3 := packet.NewData(1, packet.FiveTuple{}, int64(i), packet.MTU, false)
+		p3.Priority = 3
+		p4 := packet.NewData(2, packet.FiveTuple{}, int64(i), packet.MTU, false)
+		p4.Priority = 4
+		a.Enqueue(p3)
+		a.Enqueue(p4)
+	}
+	sim.RunAll()
+	for i := 1; i <= 10; i++ {
+		if sb.got[i].Priority != 4 {
+			t.Fatalf("position %d is class %d; strict priority violated", i, sb.got[i].Priority)
+		}
+	}
+}
+
+func TestDRRQuantumFloor(t *testing.T) {
+	sim := engine.New(1)
+	a, _, _, _ := pair(sim, 40*simtime.Gbps, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-frame quantum did not panic")
+		}
+	}()
+	a.EnableDRR(100)
+}
+
+func TestLossInjection(t *testing.T) {
+	sim := engine.New(3)
+	a, _, _, sb := pair(sim, 40*simtime.Gbps, 0)
+	l := a.Peer().Peer() // silly but the link is private; use Connect's return in new code
+	_ = l
+	// Reconstruct: use a fresh pair with the returned link.
+	sa2, sb2 := &sink{sim: sim}, &sink{sim: sim}
+	p1 := NewPort(sim, "p1", 0, 40*simtime.Gbps, sa2)
+	p2 := NewPort(sim, "p2", 0, 40*simtime.Gbps, sb2)
+	lk := Connect(sim, p1, p2, 0)
+	lk.SetLossRate(0.5)
+	for i := 0; i < 2000; i++ {
+		p1.Enqueue(packet.NewData(1, packet.FiveTuple{}, int64(i), 100, false))
+	}
+	sim.RunAll()
+	got := len(sb2.got)
+	if got < 800 || got > 1200 {
+		t.Fatalf("with 50%% loss delivered %d of 2000", got)
+	}
+	if lk.Lost+int64(got) != 2000 {
+		t.Fatalf("conservation: lost %d + delivered %d != 2000", lk.Lost, got)
+	}
+	// PFC frames are never dropped (RunAll drains past the pause expiry,
+	// so check receipt rather than the transient paused state).
+	for i := 0; i < 20; i++ {
+		p2.SendPFC(3, true)
+	}
+	sim.RunAll()
+	if p1.Stats.PauseRx != 20 {
+		t.Fatalf("received %d of 20 PFC frames; control exemption broken", p1.Stats.PauseRx)
+	}
+	_ = a
+	_ = sb
+}

@@ -1,0 +1,318 @@
+package nic
+
+import (
+	"testing"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/engine"
+	"dcqcn/internal/fabric"
+	"dcqcn/internal/link"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/rocev2"
+	"dcqcn/internal/simtime"
+)
+
+// testbed wires n NICs to one switch with routes installed.
+type testbed struct {
+	sim  *engine.Sim
+	sw   *fabric.Switch
+	nics []*NIC
+}
+
+func newTestbed(seed int64, n int, nicCfg Config, swCfg fabric.Config) *testbed {
+	sim := engine.New(seed)
+	sw := fabric.New(sim, 1000, "sw", n, swCfg)
+	tb := &testbed{sim: sim, sw: sw}
+	for i := 0; i < n; i++ {
+		nc := New(sim, packet.NodeID(i+1), "nic", nicCfg)
+		link.Connect(sim, nc.Port(), sw.Port(i), 500*simtime.Nanosecond)
+		sw.AddRoute(nc.ID, i)
+		tb.nics = append(tb.nics, nc)
+	}
+	return tb
+}
+
+func TestSingleFlowLineRate(t *testing.T) {
+	tb := newTestbed(1, 2, DefaultConfig(), fabric.DefaultConfig())
+	var done *rocev2.Completion
+	flow := tb.nics[0].OpenFlow(2)
+	const size = 4 * 1000 * 1000 // 4 MB
+	flow.PostMessage(size, func(c rocev2.Completion) { done = &c })
+	tb.sim.Run(simtime.Time(20 * simtime.Millisecond))
+	if done == nil {
+		t.Fatal("4MB transfer did not complete in 20ms")
+	}
+	thr := done.Throughput()
+	// Goodput is bounded by line rate less header overhead (~3.97G of the
+	// 40G), and an uncongested flow should achieve close to it.
+	if thr < 34*simtime.Gbps || thr > 40*simtime.Gbps {
+		t.Fatalf("single flow goodput %v, want ~38Gbps", thr)
+	}
+	// No congestion: no CNPs anywhere.
+	if tb.nics[0].Stats.CNPsReceived != 0 {
+		t.Fatalf("uncongested flow received %d CNPs", tb.nics[0].Stats.CNPsReceived)
+	}
+	if tb.sw.Stats.Drops != 0 {
+		t.Fatal("drops on an uncongested path")
+	}
+}
+
+func TestTwoFlowsConvergeToFairShare(t *testing.T) {
+	tb := newTestbed(2, 3, DefaultConfig(), fabric.DefaultConfig())
+	// Both senders run long transfers into NIC 3.
+	f1 := tb.nics[0].OpenFlow(3)
+	f2 := tb.nics[1].OpenFlow(3)
+	const chunk = 10 * 1000 * 1000
+	// Keep both flows backlogged by chaining messages.
+	var repost func(f *Flow) func(rocev2.Completion)
+	repost = func(f *Flow) func(rocev2.Completion) {
+		return func(rocev2.Completion) { f.PostMessage(chunk, repost(f)) }
+	}
+	f1.PostMessage(chunk, repost(f1))
+	f2.PostMessage(chunk, repost(f2))
+	// First 50 ms cover the initial alpha-decay transient (alpha starts
+	// at 1 and decays with g=1/256 every 55 µs); measure the second half.
+	tb.sim.Run(simtime.Time(50 * simtime.Millisecond))
+	base1, base2 := f1.Stats().PayloadAcked, f2.Stats().PayloadAcked
+	tb.sim.Run(simtime.Time(100 * simtime.Millisecond))
+
+	// Congestion control must have engaged.
+	if tb.nics[0].Stats.CNPsReceived == 0 || tb.nics[1].Stats.CNPsReceived == 0 {
+		t.Fatalf("CNPs: %d, %d — DCQCN never engaged",
+			tb.nics[0].Stats.CNPsReceived, tb.nics[1].Stats.CNPsReceived)
+	}
+	// Paced rates near fair share (20G each), within 30%.
+	r1, r2 := float64(f1.CurrentRate()), float64(f2.CurrentRate())
+	if r1 < 10e9 || r1 > 30e9 || r2 < 10e9 || r2 > 30e9 {
+		t.Fatalf("rates %v / %v, want near 20G fair share", f1.CurrentRate(), f2.CurrentRate())
+	}
+	// Goodput over the steady-state half roughly equal (within 2x).
+	b1, b2 := f1.Stats().PayloadAcked-base1, f2.Stats().PayloadAcked-base2
+	if b1 > 2*b2 || b2 > 2*b1 {
+		t.Fatalf("unfair goodput %d vs %d", b1, b2)
+	}
+	// Lossless under PFC.
+	if tb.sw.Stats.Drops != 0 {
+		t.Fatalf("%d drops with PFC enabled", tb.sw.Stats.Drops)
+	}
+	// The bottleneck stays near full utilization in steady state
+	// (goodput capacity after headers is ~38.4 Gb/s).
+	total := simtime.RateFromBytes(b1+b2, 50*simtime.Millisecond)
+	if total < 30*simtime.Gbps {
+		t.Fatalf("aggregate steady-state goodput %v, want > 30Gbps", total)
+	}
+}
+
+func TestPFCOnlyBaselineSendsNoCNPs(t *testing.T) {
+	nicCfg := DefaultConfig()
+	nicCfg.Controller = FixedRateFactory(40 * simtime.Gbps)
+	nicCfg.NPEnabled = false
+	swCfg := fabric.DefaultConfig()
+	swCfg.Marking.KMin = 1 << 40 // ECN off
+	swCfg.Marking.KMax = 1 << 40
+	tb := newTestbed(3, 3, nicCfg, swCfg)
+	f1 := tb.nics[0].OpenFlow(3)
+	f2 := tb.nics[1].OpenFlow(3)
+	f1.PostMessage(20*1000*1000, nil)
+	f2.PostMessage(20*1000*1000, nil)
+	tb.sim.Run(simtime.Time(30 * simtime.Millisecond))
+	if tb.nics[2].Stats.CNPsSent != 0 {
+		t.Fatalf("PFC-only receiver sent %d CNPs", tb.nics[2].Stats.CNPsSent)
+	}
+	if tb.sw.Stats.Drops != 0 {
+		t.Fatal("PFC-only must still be lossless")
+	}
+	// Both flows complete: 20MB each over a shared 40G link needs ~8.4ms.
+	if f1.Stats().Completions != 1 || f2.Stats().Completions != 1 {
+		t.Fatalf("completions %d/%d, want 1/1", f1.Stats().Completions, f2.Stats().Completions)
+	}
+	// Incast at line rate must have triggered PFC.
+	if tb.sw.Stats.PauseSent == 0 {
+		t.Fatal("expected PAUSE under 2:1 incast at line rate")
+	}
+}
+
+func TestFlowRateRecoversAfterCongestion(t *testing.T) {
+	tb := newTestbed(4, 3, DefaultConfig(), fabric.DefaultConfig())
+	f1 := tb.nics[0].OpenFlow(3)
+	f2 := tb.nics[1].OpenFlow(3)
+	f1.PostMessage(200*1000*1000, nil) // long flow
+	f2.PostMessage(5*1000*1000, nil)   // short competing flow
+	tb.sim.Run(simtime.Time(100 * simtime.Millisecond))
+	if f2.Stats().Completions != 1 {
+		t.Fatal("short flow did not complete")
+	}
+	// Long after the competitor finished, the survivor should be back at
+	// (or near) line rate.
+	if f1.CurrentRate() < 35*simtime.Gbps {
+		t.Fatalf("survivor rate %v, want recovered to ~line rate", f1.CurrentRate())
+	}
+}
+
+type qcnStub struct {
+	rocev2.RateController
+	got []float64
+}
+
+func (q *qcnStub) OnQCNFeedback(fb float64) { q.got = append(q.got, fb) }
+
+func TestQCNFeedbackDispatch(t *testing.T) {
+	stub := &qcnStub{RateController: rocev2.FixedRate(40 * simtime.Gbps)}
+	cfg := DefaultConfig()
+	cfg.Controller = func(core.Clock) rocev2.RateController { return stub }
+	tb := newTestbed(5, 2, cfg, fabric.DefaultConfig())
+	f := tb.nics[0].OpenFlow(2)
+	// Hand-deliver a QCN feedback frame to the sender NIC.
+	fb := &packet.Packet{Type: packet.QCNFb, Flow: f.ID(), Size: 64, QCNFeedback: -0.5}
+	tb.nics[0].HandlePacket(fb, nil)
+	if len(stub.got) != 1 || stub.got[0] != -0.5 {
+		t.Fatalf("QCN feedback not dispatched: %v", stub.got)
+	}
+}
+
+func TestCNPPacingLimitsRate(t *testing.T) {
+	// With CNPPacing of 50us and two flows marking simultaneously, CNPs
+	// must be spaced at least 50us apart NIC-wide.
+	cfg := DefaultConfig()
+	cfg.CNPPacing = 50 * simtime.Microsecond
+	swCfg := fabric.DefaultConfig()
+	swCfg.Marking.KMin = 3000
+	swCfg.Marking.KMax = 3000
+	swCfg.Marking.PMax = 1
+	tb := newTestbed(6, 3, cfg, swCfg)
+	f1 := tb.nics[0].OpenFlow(3)
+	f2 := tb.nics[1].OpenFlow(3)
+	f1.PostMessage(50*1000*1000, nil)
+	f2.PostMessage(50*1000*1000, nil)
+	horizon := 20 * simtime.Millisecond
+	tb.sim.Run(simtime.Time(horizon))
+	sent := tb.nics[2].Stats.CNPsSent
+	if sent == 0 {
+		t.Fatal("no CNPs under forced marking")
+	}
+	maxPossible := int64(horizon/(50*simtime.Microsecond)) + 1
+	if sent > maxPossible {
+		t.Fatalf("%d CNPs exceed pacing bound %d", sent, maxPossible)
+	}
+}
+
+func TestReceiverStatsAccessors(t *testing.T) {
+	tb := newTestbed(7, 2, DefaultConfig(), fabric.DefaultConfig())
+	f := tb.nics[0].OpenFlow(2)
+	f.PostMessage(1000, nil)
+	tb.sim.Run(simtime.Time(simtime.Millisecond))
+	rs, ok := tb.nics[1].ReceiverStats(f.ID())
+	if !ok || rs.PacketsInOrder != 1 {
+		t.Fatalf("receiver stats: ok=%v %+v", ok, rs)
+	}
+	if _, _, ok := tb.nics[1].NPStats(f.ID()); !ok {
+		t.Fatal("NP stats missing")
+	}
+	if _, ok := tb.nics[1].ReceiverStats(12345); ok {
+		t.Fatal("stats for unknown flow")
+	}
+}
+
+func TestFlowClose(t *testing.T) {
+	tb := newTestbed(8, 2, DefaultConfig(), fabric.DefaultConfig())
+	f := tb.nics[0].OpenFlow(2)
+	f.PostMessage(1000*1000, nil)
+	tb.sim.Run(simtime.Time(100 * simtime.Microsecond))
+	f.Close()
+	// Simulation drains without panics and no further sends happen.
+	before := tb.nics[0].Stats.BytesOut
+	tb.sim.Run(simtime.Time(5 * simtime.Millisecond))
+	if tb.nics[0].Stats.BytesOut != before {
+		t.Fatal("closed flow kept sending")
+	}
+}
+
+func TestSlowReceiverGeneratesPFC(t *testing.T) {
+	// The receiver NIC drains at 10G while the sender pushes 40G: its
+	// receive buffer crosses the PFC threshold and pauses the ToR, which
+	// back-pressures the sender. Nothing is lost and goodput tracks the
+	// receive pipeline, not the wire.
+	cfg := DefaultConfig()
+	recvCfg := cfg
+	recvCfg.RxProcessingRate = 10 * simtime.Gbps
+
+	sim := engine.New(21)
+	sw := fabric.New(sim, 1000, "sw", 2, fabric.DefaultConfig())
+	sender := New(sim, 1, "sender", cfg)
+	receiver := New(sim, 2, "receiver", recvCfg)
+	link.Connect(sim, sender.Port(), sw.Port(0), 500*simtime.Nanosecond)
+	link.Connect(sim, receiver.Port(), sw.Port(1), 500*simtime.Nanosecond)
+	sw.AddRoute(1, 0)
+	sw.AddRoute(2, 1)
+
+	// The first transfer absorbs the initial line-rate burst (DCQCN cuts
+	// hard when the slow receiver backs the fabric up) and the recovery
+	// ramp; the second measures steady state.
+	var done *rocev2.Completion
+	f := sender.OpenFlow(2)
+	const size = 10 * 1000 * 1000
+	f.PostMessage(size, func(rocev2.Completion) {
+		f.PostMessage(size, func(c rocev2.Completion) { done = &c })
+	})
+	sim.Run(simtime.Time(100 * simtime.Millisecond))
+
+	if receiver.Stats.RxPauses == 0 {
+		t.Fatal("slow receiver never sent PFC")
+	}
+	if done == nil {
+		t.Fatal("transfers did not complete")
+	}
+	thr := done.Throughput()
+	if thr > 11*simtime.Gbps {
+		t.Fatalf("steady goodput %v exceeds the 10G receive pipeline", thr)
+	}
+	if thr < 6*simtime.Gbps {
+		t.Fatalf("steady goodput %v far below the 10G receive pipeline", thr)
+	}
+	if sw.Stats.Drops != 0 {
+		t.Fatal("drops despite PFC from the NIC")
+	}
+}
+
+func TestFastReceiverSendsNoPFC(t *testing.T) {
+	tb := newTestbed(22, 2, DefaultConfig(), fabric.DefaultConfig())
+	f := tb.nics[0].OpenFlow(2)
+	f.PostMessage(10*1000*1000, nil)
+	tb.sim.Run(simtime.Time(20 * simtime.Millisecond))
+	if tb.nics[1].Stats.RxPauses != 0 {
+		t.Fatal("line-rate receiver generated PFC")
+	}
+}
+
+func TestDataPriorityClass(t *testing.T) {
+	// Flows on a non-default class must carry it on the wire and the
+	// receiver must still ACK/consume them.
+	cfg := DefaultConfig()
+	cfg.Transport.Priority = 4
+	tb := newTestbed(23, 2, cfg, fabric.DefaultConfig())
+	f := tb.nics[0].OpenFlow(2)
+	done := false
+	f.PostMessage(1000*1000, func(rocev2.Completion) { done = true })
+	tb.sim.Run(simtime.Time(10 * simtime.Millisecond))
+	if !done {
+		t.Fatal("transfer on class 4 incomplete")
+	}
+	// The switch accounted the traffic on class 4, not the default 3.
+	if q := tb.sw.IngressQueue(0, 4); q != 0 {
+		t.Fatalf("class-4 ingress not drained: %d", q)
+	}
+	if tb.sw.Stats.Forwarded == 0 {
+		t.Fatal("nothing forwarded")
+	}
+}
+
+func TestInvalidDataPriorityRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Transport.Priority = packet.PrioControl // collides with control
+	defer func() {
+		if recover() == nil {
+			t.Fatal("control-class data priority did not panic")
+		}
+	}()
+	_ = New(engine.New(1), 1, "bad", cfg)
+}

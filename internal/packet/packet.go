@@ -1,0 +1,261 @@
+// Package packet defines the on-wire units exchanged by simulated NICs and
+// switches.
+//
+// Packets carry metadata only: sizes are modelled, payload bytes are not,
+// which is sufficient (and conventional) for congestion-control studies.
+// The layering follows RoCEv2: Ethernet / IP / UDP / InfiniBand transport
+// (BTH), so a Packet exposes the fields each layer of the model needs —
+// addresses and ECN bits for the switches, priorities for PFC, packet
+// sequence numbers for the transport.
+package packet
+
+import (
+	"fmt"
+
+	"dcqcn/internal/simtime"
+)
+
+// Framing constants. The DCQCN paper's buffer calculations assume a
+// 1500-byte MTU; RoCEv2 data packets additionally carry Ethernet, IP, UDP
+// and BTH headers, which we fold into HeaderBytes.
+const (
+	// MTU is the maximum transport payload per packet, in bytes.
+	MTU = 1500
+	// HeaderBytes models Ethernet(18, incl. FCS) + IPv4(20) + UDP(8) +
+	// BTH(12) + ICRC(4) framing overhead per data packet.
+	HeaderBytes = 62
+	// ControlBytes is the wire size of small control packets: ACK, NACK,
+	// CNP and PFC frames (64-byte minimum Ethernet frame).
+	ControlBytes = 64
+	// MaxFrameBytes is the largest frame the fabric carries.
+	MaxFrameBytes = MTU + HeaderBytes
+)
+
+// Priorities. PFC supports eight traffic classes; the paper runs RDMA data
+// on one lossless class and CNPs on a separate high-priority class so that
+// congestion feedback is never queued behind the data causing it.
+const (
+	NumPriorities = 8
+	// PrioData is the lossless class RDMA traffic uses.
+	PrioData = 3
+	// PrioControl is the high-priority class for CNPs and ACKs.
+	PrioControl = 6
+)
+
+// Type discriminates the packet kinds the simulator models.
+type Type uint8
+
+// Packet kinds.
+const (
+	Data   Type = iota // RoCEv2 data segment
+	Ack                // transport acknowledgement
+	Nack               // out-of-sequence NAK (triggers go-back-N)
+	CNP                // RoCEv2 Congestion Notification Packet
+	Pause              // PFC PAUSE frame (per-priority XOFF)
+	Resume             // PFC frame with zero pause time (XON)
+	QCNFb              // QCN congestion feedback (baseline, L2 only)
+)
+
+var typeNames = [...]string{"DATA", "ACK", "NACK", "CNP", "PAUSE", "RESUME", "QCNFB"}
+
+// String returns the conventional name of the packet type.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// NodeID identifies a host or switch in the simulated network.
+type NodeID int32
+
+// FlowID identifies one transport flow (queue pair). FlowIDs are assigned
+// by the simulation and are unique network-wide.
+type FlowID int32
+
+// FiveTuple is the flow identity ECMP hashes on. RoCEv2 varies the UDP
+// source port per QP precisely so that ECMP can spread flows.
+type FiveTuple struct {
+	Src, Dst         NodeID
+	SrcPort, DstPort uint16
+	// Proto is constant (UDP/RoCEv2) in this model but participates in the
+	// hash for fidelity.
+	Proto uint8
+}
+
+// Packet is one simulated frame. Packets are passed by pointer and owned
+// by exactly one queue or link at a time; they are never shared.
+type Packet struct {
+	Type  Type
+	Flow  FlowID
+	Tuple FiveTuple
+
+	// Size is the wire size in bytes, including all headers.
+	Size int
+	// Payload is the transport payload length for Data packets.
+	Payload int
+	// Priority is the PFC traffic class (0..7).
+	Priority uint8
+
+	// PSN is the packet sequence number for Data, or the cumulative /
+	// expected PSN for Ack and Nack.
+	PSN int64
+
+	// ECNCapable marks the packet ECT: switches may mark instead of drop.
+	ECNCapable bool
+	// CE is the congestion-experienced mark set by a congested switch.
+	CE bool
+	// ECE is the per-packet ECN echo carried by DCTCP ACKs (DCTCP needs
+	// exact per-packet feedback; RoCEv2/DCQCN uses CNPs instead).
+	ECE bool
+
+	// Last marks the final segment of an application message, so the
+	// receiver can account message completions.
+	Last bool
+
+	// PausePrio and PauseOn describe PFC frames: the class being paused
+	// and whether this is XOFF (true) or XON (false).
+	PausePrio uint8
+	PauseOn   bool
+
+	// QCNFeedback is the quantized congestion feedback value carried by
+	// QCN frames (baseline only).
+	QCNFeedback float64
+
+	// SentAt is stamped by the origin NIC when the packet first enters the
+	// network; used for latency accounting.
+	SentAt simtime.Time
+
+	// ingress bookkeeping used by switches to release shared-buffer
+	// accounting when the packet departs. Internal to the fabric.
+	InPort int32
+}
+
+// NewData builds a data segment of the given payload size for flow f.
+func NewData(f FlowID, tuple FiveTuple, psn int64, payload int, last bool) *Packet {
+	return &Packet{
+		Type:       Data,
+		Flow:       f,
+		Tuple:      tuple,
+		Size:       payload + HeaderBytes,
+		Payload:    payload,
+		Priority:   PrioData,
+		PSN:        psn,
+		ECNCapable: true,
+		Last:       last,
+	}
+}
+
+// NewAck builds a cumulative acknowledgement up to (and including) psn,
+// flowing from the receiver back to the sender, so its tuple is reversed.
+func NewAck(f FlowID, tuple FiveTuple, psn int64) *Packet {
+	return &Packet{
+		Type:     Ack,
+		Flow:     f,
+		Tuple:    tuple.Reverse(),
+		Size:     ControlBytes,
+		Priority: PrioControl,
+		PSN:      psn,
+	}
+}
+
+// NewNack builds an out-of-sequence NAK asking the sender to resume from
+// expected.
+func NewNack(f FlowID, tuple FiveTuple, expected int64) *Packet {
+	return &Packet{
+		Type:     Nack,
+		Flow:     f,
+		Tuple:    tuple.Reverse(),
+		Size:     ControlBytes,
+		Priority: PrioControl,
+		PSN:      expected,
+	}
+}
+
+// NewCNP builds a Congestion Notification Packet for flow f, addressed
+// back to the flow's sender.
+func NewCNP(f FlowID, tuple FiveTuple) *Packet {
+	return &Packet{
+		Type:     CNP,
+		Flow:     f,
+		Tuple:    tuple.Reverse(),
+		Size:     ControlBytes,
+		Priority: PrioControl,
+	}
+}
+
+// NewPFC builds a PFC frame pausing (on=true) or resuming (on=false) the
+// given priority. PFC frames are link-local: they are consumed by the
+// device at the other end of the link and never forwarded.
+func NewPFC(prio uint8, on bool) *Packet {
+	t := Resume
+	if on {
+		t = Pause
+	}
+	return &Packet{
+		Type:      t,
+		Size:      ControlBytes,
+		Priority:  NumPriorities - 1, // PFC frames use the highest class
+		PausePrio: prio,
+		PauseOn:   on,
+	}
+}
+
+// Reverse returns the tuple of the reverse direction of the flow.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		Src: ft.Dst, Dst: ft.Src,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+		Proto: ft.Proto,
+	}
+}
+
+// Hash returns a 64-bit FNV-1a hash of the tuple mixed with seed. Switches
+// use it for ECMP next-hop selection; different switches use different
+// seeds, as real deployments do, so a flow's path is a joint function of
+// its tuple and every hop's hash configuration.
+func (ft FiveTuple) Hash(seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(uint32(ft.Src)))
+	mix(uint64(uint32(ft.Dst)))
+	mix(uint64(ft.SrcPort)<<16 | uint64(ft.DstPort))
+	mix(uint64(ft.Proto))
+	return h
+}
+
+// IsControl reports whether the packet is a control frame that must never
+// be blocked by PFC (PFC frames themselves and, per the paper's design,
+// high-priority CNPs ride a class PFC does not pause in our scenarios).
+func (p *Packet) IsControl() bool {
+	return p.Type == Pause || p.Type == Resume
+}
+
+// String renders a compact human-readable description for traces.
+func (p *Packet) String() string {
+	switch p.Type {
+	case Data:
+		return fmt.Sprintf("DATA f%d psn=%d %dB prio=%d ce=%v", p.Flow, p.PSN, p.Size, p.Priority, p.CE)
+	case Ack:
+		return fmt.Sprintf("ACK f%d psn=%d", p.Flow, p.PSN)
+	case Nack:
+		return fmt.Sprintf("NACK f%d expected=%d", p.Flow, p.PSN)
+	case CNP:
+		return fmt.Sprintf("CNP f%d", p.Flow)
+	case Pause:
+		return fmt.Sprintf("PAUSE prio=%d", p.PausePrio)
+	case Resume:
+		return fmt.Sprintf("RESUME prio=%d", p.PausePrio)
+	default:
+		return fmt.Sprintf("%s f%d", p.Type, p.Flow)
+	}
+}

@@ -1,0 +1,125 @@
+// Package simtime defines the time, duration and rate types used by the
+// simulator.
+//
+// Simulated time is measured in integer picoseconds. At the 40 Gb/s link
+// speeds the DCQCN paper studies, one bit lasts 25 ps, so picosecond
+// resolution keeps serialization times exact to well under a bit while a
+// signed 64-bit counter still spans more than 100 days of simulated time.
+// Integer time also makes runs bit-for-bit reproducible across platforms,
+// which floating-point time would not.
+package simtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an absolute simulation timestamp in picoseconds since the start
+// of the run. The zero value is the beginning of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a timestamp far beyond any practical simulation horizon.
+const Forever Time = math.MaxInt64
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Microseconds reports t as floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the timestamp with automatic units.
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds reports d as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration with automatic units.
+func (d Duration) String() string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d%Second == 0:
+		return fmt.Sprintf("%ds", d/Second)
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	case d >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(d)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(d))
+	}
+}
+
+// Rate is a transmission rate in bits per second. Rates are continuous
+// quantities (DCQCN's additive-increase and fast-recovery steps produce
+// fractional rates), so they are represented as float64.
+type Rate float64
+
+// Common rates.
+const (
+	BitPerSecond Rate = 1
+	Kbps              = 1e3 * BitPerSecond
+	Mbps              = 1e6 * BitPerSecond
+	Gbps              = 1e9 * BitPerSecond
+)
+
+// String formats the rate with automatic units.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.3fGbps", float64(r)/1e9)
+	case r >= Mbps:
+		return fmt.Sprintf("%.3fMbps", float64(r)/1e6)
+	case r >= Kbps:
+		return fmt.Sprintf("%.3fKbps", float64(r)/1e3)
+	default:
+		return fmt.Sprintf("%.3fbps", float64(r))
+	}
+}
+
+// TxTime returns the serialization delay of sizeBytes at rate r, rounded
+// to the nearest picosecond. It panics on a non-positive rate: callers
+// must never schedule transmission on a stopped port.
+func (r Rate) TxTime(sizeBytes int) Duration {
+	if r <= 0 {
+		panic("simtime: TxTime on non-positive rate")
+	}
+	bits := float64(sizeBytes) * 8
+	return Duration(math.Round(bits / float64(r) * float64(Second)))
+}
+
+// BytesIn returns how many whole bytes rate r delivers in d.
+func (r Rate) BytesIn(d Duration) int64 {
+	return int64(float64(r) * d.Seconds() / 8)
+}
+
+// RateFromBytes returns the average rate that transfers bytes in d.
+// It returns 0 for non-positive durations.
+func RateFromBytes(bytes int64, d Duration) Rate {
+	if d <= 0 {
+		return 0
+	}
+	return Rate(float64(bytes) * 8 / d.Seconds())
+}

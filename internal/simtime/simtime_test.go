@@ -1,0 +1,108 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTxTime(t *testing.T) {
+	cases := []struct {
+		rate Rate
+		size int
+		want Duration
+	}{
+		{40 * Gbps, 1500, 300 * Nanosecond},   // 12000 bits at 40G
+		{40 * Gbps, 64, 12800 * Picosecond},   // 512 bits at 40G
+		{10 * Gbps, 1500, 1200 * Nanosecond},  // 12000 bits at 10G
+		{1 * Gbps, 125, 1000 * Nanosecond},    // 1000 bits at 1G
+		{100 * Mbps, 1250, 100 * Microsecond}, // 10000 bits at 100M
+	}
+	for _, c := range cases {
+		if got := c.rate.TxTime(c.size); got != c.want {
+			t.Errorf("TxTime(%v, %d) = %v, want %v", c.rate, c.size, got, c.want)
+		}
+	}
+}
+
+func TestTxTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TxTime(0) did not panic")
+		}
+	}()
+	Rate(0).TxTime(100)
+}
+
+func TestRateFromBytes(t *testing.T) {
+	// 5 bytes per ns is 40 Gb/s.
+	if got := RateFromBytes(5000, 1000*Nanosecond); got != 40*Gbps {
+		t.Errorf("RateFromBytes = %v, want 40Gbps", got)
+	}
+	if got := RateFromBytes(100, 0); got != 0 {
+		t.Errorf("RateFromBytes with zero duration = %v, want 0", got)
+	}
+	if got := RateFromBytes(100, -5); got != 0 {
+		t.Errorf("RateFromBytes with negative duration = %v, want 0", got)
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (40 * Gbps).BytesIn(Microsecond); got != 5000 {
+		t.Errorf("40Gbps over 1us = %d bytes, want 5000", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50)
+	if t1 != 150 {
+		t.Fatalf("Add: got %d", int64(t1))
+	}
+	if d := t1.Sub(t0); d != 50 {
+		t.Fatalf("Sub: got %d", int64(d))
+	}
+}
+
+// Property: round-tripping bytes through TxTime/RateFromBytes recovers the
+// rate to within rounding error for realistic sizes and rates.
+func TestQuickTxRoundTrip(t *testing.T) {
+	f := func(kb uint8, gbit uint8) bool {
+		size := (int(kb) + 1) * 100          // 100B .. 25.6KB
+		rate := Rate(int(gbit)%100+1) * Gbps // 1 .. 100 Gbps
+		d := rate.TxTime(size)
+		back := RateFromBytes(int64(size), d)
+		// Picosecond rounding of the tx time bounds the relative error by
+		// one part in (bits/rate seconds)/1ps; 100 bytes at 100 Gb/s is
+		// 8 ns, i.e. 8000 ps, so 1e-4 is a safe bound for these inputs.
+		rel := float64(back-rate) / float64(rate)
+		return rel < 1e-4 && rel > -1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{1500 * Microsecond, "1.500ms"},
+		{55 * Microsecond, "55.000us"},
+		{300 * Nanosecond, "300.000ns"},
+		{7, "7ps"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+	if got := (40 * Gbps).String(); got != "40.000Gbps" {
+		t.Errorf("rate string = %q", got)
+	}
+	if got := (40 * Mbps).String(); got != "40.000Mbps" {
+		t.Errorf("rate string = %q", got)
+	}
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {10, 10.9}, {90, 90.1},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%.0f = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	for name, v := range map[string]float64{
+		"mean": s.Mean(), "min": s.Min(), "max": s.Max(),
+		"median": s.Median(), "stddev": s.Stddev(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty sample = %g, want NaN", name, v)
+		}
+	}
+	if s.Summary() != "n=0" {
+		t.Errorf("summary %q", s.Summary())
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Errorf("p%g = %g", p, got)
+		}
+	}
+	if s.Stddev() != 0 {
+		t.Errorf("stddev of single = %g", s.Stddev())
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 2, 3)
+	pts := s.CDF()
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF has %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bracketed by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, pa, pb uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		a, b := float64(pa%101), float64(pb%101)
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := s.Percentile(a), s.Percentile(b)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF fractions are increasing and end exactly at 1.
+func TestQuickCDFValid(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			s.Add(v)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		pts := s.CDF()
+		prevV, prevF := math.Inf(-1), 0.0
+		for _, p := range pts {
+			if p.Value <= prevV || p.Fraction <= prevF {
+				return false
+			}
+			prevV, prevF = p.Value, p.Fraction
+		}
+		return math.Abs(pts[len(pts)-1].Fraction-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesSortedCopy(t *testing.T) {
+	var s Sample
+	s.AddAll(3, 1, 2)
+	vs := s.Values()
+	if !sort.Float64sAreSorted(vs) {
+		t.Fatal("Values not sorted")
+	}
+	vs[0] = 99
+	if s.Min() == 99 {
+		t.Fatal("Values did not copy")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var ts Series
+	for i := 0; i < 10; i++ {
+		ts.Add(float64(i)*0.001, float64(i))
+	}
+	late := ts.After(0.005)
+	if late.N() != 5 {
+		t.Fatalf("After kept %d points, want 5", late.N())
+	}
+	if late.V[0] != 5 {
+		t.Fatalf("first late value %g", late.V[0])
+	}
+	if got := late.Sample().Median(); got != 7 {
+		t.Fatalf("median of late half %g, want 7", got)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := &Series{V: []float64{1, 2, 3}}
+	b := &Series{V: []float64{2, 2, 5}}
+	if got := MeanAbsDiff(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MeanAbsDiff = %g, want 1", got)
+	}
+	empty := &Series{}
+	if !math.IsNaN(MeanAbsDiff(a, empty)) {
+		t.Fatal("diff with empty should be NaN")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := Table{Header: []string{"col", "value"}}
+	tbl.AddRow("a", "1")
+	tbl.AddRow("longer", "22")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "col") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	// All rows align: same prefix width before second column.
+	if len(lines[2]) < 6 || len(lines[3]) < 6 {
+		t.Fatalf("rows too short: %q", lines)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: %g, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("monopoly: %g, want 1/n", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero: %g, want 1", got)
+	}
+	if !math.IsNaN(JainIndex(nil)) {
+		t.Error("empty should be NaN")
+	}
+	// More equal is fairer.
+	if JainIndex([]float64{3, 5}) <= JainIndex([]float64{1, 7}) {
+		t.Error("Jain index ordering violated")
+	}
+}

@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcqcn/internal/nic"
+	"dcqcn/internal/rocev2"
+	"dcqcn/internal/simtime"
+)
+
+// TestSystemInvariants fuzzes whole scenarios and checks the properties
+// that must hold for every workload on a correctly configured fabric:
+//
+//  1. losslessness: with PFC enabled nothing is ever dropped;
+//  2. conservation: every posted byte is eventually acknowledged
+//     exactly once (go-back-N may retransmit, but goodput accounting
+//     must not double-count);
+//  3. completion: every transfer finishes once traffic stops;
+//  4. accounting: switch buffers drain to exactly zero.
+func TestSystemInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		hosts := 3 + rng.Intn(6)
+		opts := DefaultOptions()
+		opts.ECMPSeedBase = uint64(trial)
+		var net *Network
+		if trial%2 == 0 {
+			net = NewStar(int64(trial), hosts, opts)
+		} else {
+			net = NewTestbed(int64(trial), opts)
+			hosts = len(net.HostNames())
+		}
+		names := net.HostNames()
+
+		type transfer struct {
+			flow *nic.Flow
+			size int64
+			done bool
+		}
+		var transfers []*transfer
+		nFlows := 2 + rng.Intn(6)
+		for i := 0; i < nFlows; i++ {
+			src := names[rng.Intn(len(names))]
+			dst := src
+			for dst == src {
+				dst = names[rng.Intn(len(names))]
+			}
+			size := int64(1000 + rng.Intn(4_000_000))
+			tr := &transfer{size: size}
+			tr.flow = net.Host(src).OpenFlow(net.Host(dst).ID)
+			transfers = append(transfers, tr)
+			// Stagger starts across the first 2 ms.
+			start := simtime.Time(rng.Int63n(int64(2 * simtime.Millisecond)))
+			func(tr *transfer) {
+				net.Sim.At(start, func() {
+					tr.flow.PostMessage(tr.size, func(rocev2.Completion) { tr.done = true })
+				})
+			}(tr)
+		}
+
+		net.Sim.Run(simtime.Time(100 * simtime.Millisecond))
+
+		for i, tr := range transfers {
+			if !tr.done {
+				t.Fatalf("trial %d: transfer %d (%dB) incomplete", trial, i, tr.size)
+			}
+		}
+		for name, sw := range net.Switches {
+			if sw.Stats.Drops != 0 {
+				t.Fatalf("trial %d: %s dropped %d packets under PFC", trial, name, sw.Stats.Drops)
+			}
+			if sw.Occupied() != 0 {
+				t.Fatalf("trial %d: %s holds %dB after drain", trial, name, sw.Occupied())
+			}
+		}
+	}
+}
+
+// TestConservationUnderLoss: on lossy links every posted byte is still
+// delivered exactly once at the receiver (retransmissions are not
+// double-counted as goodput).
+func TestConservationUnderLoss(t *testing.T) {
+	opts := DefaultOptions()
+	net := NewStar(5, 2, opts)
+	net.SetLossRate(0.002)
+	const size = 3_000_000
+	done := false
+	f := net.Host("H1").OpenFlow(net.Host("H2").ID)
+	f.PostMessage(size, func(rocev2.Completion) { done = true })
+	net.Sim.Run(simtime.Time(200 * simtime.Millisecond))
+	if !done {
+		t.Fatal("transfer incomplete under 0.2% loss")
+	}
+	st := f.Stats()
+	if st.PayloadAcked != size {
+		t.Fatalf("acked %d bytes, want %d exactly", st.PayloadAcked, size)
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("expected retransmissions at 0.2% loss")
+	}
+	rs, ok := net.Host("H2").ReceiverStats(f.ID())
+	if !ok {
+		t.Fatal("no receiver stats")
+	}
+	if rs.BytesDelivered != size {
+		t.Fatalf("receiver delivered %d bytes, want %d exactly", rs.BytesDelivered, size)
+	}
+}
+
+// TestFuzzDeterminism: any random scenario replays identically.
+func TestFuzzDeterminism(t *testing.T) {
+	build := func() int64 {
+		opts := DefaultOptions()
+		opts.ECMPSeedBase = 4
+		net := NewTestbed(11, opts)
+		rng := rand.New(rand.NewSource(3))
+		names := net.HostNames()
+		for i := 0; i < 6; i++ {
+			src := names[rng.Intn(len(names))]
+			dst := src
+			for dst == src {
+				dst = names[rng.Intn(len(names))]
+			}
+			net.Host(src).OpenFlow(net.Host(dst).ID).PostMessage(int64(1+rng.Intn(2_000_000)), nil)
+		}
+		net.Sim.Run(simtime.Time(20 * simtime.Millisecond))
+		var sig int64
+		// Iterate switches in a fixed order (map order is random).
+		for _, name := range []string{"T1", "T2", "T3", "T4", "L1", "L2", "L3", "L4", "S1", "S2"} {
+			sw := net.Switch(name)
+			sig = sig*31 + sw.Stats.Forwarded
+			sig = sig*31 + sw.Stats.PauseSent
+			sig = sig*31 + sw.Stats.EcnMarked
+		}
+		return sig
+	}
+	if build() != build() {
+		t.Fatal("replay diverged")
+	}
+}

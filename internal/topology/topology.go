@@ -1,0 +1,346 @@
+// Package topology builds the networks the DCQCN paper evaluates on:
+// the 3-tier Clos testbed of Fig. 2 (four ToRs, four leaves, two spines,
+// all 40 Gb/s), single-switch rigs for microbenchmarks, and the
+// experiment-specific placements of Figs. 3, 4 and 20.
+//
+// Routing is computed by breadth-first search over the switch graph; all
+// equal-cost next hops form an ECMP group resolved per flow by each
+// switch's hash, exactly as the BGP+ECMP fabric of the paper.
+package topology
+
+import (
+	"fmt"
+
+	"dcqcn/internal/engine"
+	"dcqcn/internal/fabric"
+	"dcqcn/internal/link"
+	"dcqcn/internal/nic"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/simtime"
+)
+
+// Options configures network construction.
+type Options struct {
+	// NIC is the configuration applied to every host NIC.
+	NIC nic.Config
+	// Switch is the configuration applied to every switch; per-switch
+	// ECMP seeds are derived from ECMPSeedBase and the switch index.
+	Switch fabric.Config
+	// HostLinkDelay is the host-to-ToR propagation delay.
+	HostLinkDelay simtime.Duration
+	// FabricLinkDelay is the switch-to-switch propagation delay.
+	FabricLinkDelay simtime.Duration
+	// ECMPSeedBase perturbs all switches' hash seeds; experiments sweep
+	// it to randomize (or search for) ECMP placements.
+	ECMPSeedBase uint64
+	// HostsPerToR is used by NewTestbed (the paper's benchmark uses 5).
+	HostsPerToR int
+}
+
+// DefaultOptions returns the paper's testbed defaults.
+func DefaultOptions() Options {
+	return Options{
+		NIC:             nic.DefaultConfig(),
+		Switch:          fabric.DefaultConfig(),
+		HostLinkDelay:   500 * simtime.Nanosecond,
+		FabricLinkDelay: 500 * simtime.Nanosecond,
+		HostsPerToR:     5,
+	}
+}
+
+// Network is a wired, routed collection of switches and host NICs.
+type Network struct {
+	Sim      *engine.Sim
+	Hosts    map[string]*nic.NIC
+	Switches map[string]*fabric.Switch
+
+	opts      Options
+	hostOrder []string
+	swOrder   []string
+	nextID    packet.NodeID
+
+	hostLinks   map[string]*link.Link
+	fabricLinks []*link.Link
+
+	// adjacency for route computation
+	swIndex   map[*fabric.Switch]int
+	swPorts   map[*fabric.Switch]int // next free port
+	neighbors map[*fabric.Switch][]edge
+	attached  map[*fabric.Switch][]hostEdge
+}
+
+type edge struct {
+	peer *fabric.Switch
+	port int // local port toward peer
+}
+
+type hostEdge struct {
+	host *nic.NIC
+	port int
+}
+
+// NewNetwork creates an empty network on a fresh simulator.
+func NewNetwork(seed int64, opts Options) *Network {
+	return &Network{
+		Sim:       engine.New(seed),
+		Hosts:     make(map[string]*nic.NIC),
+		Switches:  make(map[string]*fabric.Switch),
+		hostLinks: make(map[string]*link.Link),
+		opts:      opts,
+		nextID:    1,
+		swIndex:   make(map[*fabric.Switch]int),
+		swPorts:   make(map[*fabric.Switch]int),
+		neighbors: make(map[*fabric.Switch][]edge),
+		attached:  make(map[*fabric.Switch][]hostEdge),
+	}
+}
+
+// AddSwitch creates a switch with capacity for ports connections.
+func (n *Network) AddSwitch(name string, ports int) *fabric.Switch {
+	if _, dup := n.Switches[name]; dup {
+		panic("topology: duplicate switch " + name)
+	}
+	cfg := n.opts.Switch
+	cfg.ECMPSeed = n.opts.ECMPSeedBase*2654435761 + uint64(len(n.swOrder)+1)*0x9e3779b97f4a7c15
+	sw := fabric.New(n.Sim, n.allocID(), name, ports, cfg)
+	n.Switches[name] = sw
+	n.swOrder = append(n.swOrder, name)
+	n.swIndex[sw] = len(n.swOrder) - 1
+	return sw
+}
+
+// AddHost creates a host NIC attached to the given switch.
+func (n *Network) AddHost(name string, tor *fabric.Switch) *nic.NIC {
+	if _, dup := n.Hosts[name]; dup {
+		panic("topology: duplicate host " + name)
+	}
+	h := nic.New(n.Sim, n.allocID(), name, n.opts.NIC)
+	port := n.takePort(tor)
+	n.hostLinks[name] = link.Connect(n.Sim, h.Port(), tor.Port(port), n.opts.HostLinkDelay)
+	n.attached[tor] = append(n.attached[tor], hostEdge{host: h, port: port})
+	n.Hosts[name] = h
+	n.hostOrder = append(n.hostOrder, name)
+	return h
+}
+
+// ConnectSwitches wires a fabric link between two switches.
+func (n *Network) ConnectSwitches(a, b *fabric.Switch) {
+	pa, pb := n.takePort(a), n.takePort(b)
+	n.fabricLinks = append(n.fabricLinks, link.Connect(n.Sim, a.Port(pa), b.Port(pb), n.opts.FabricLinkDelay))
+	n.neighbors[a] = append(n.neighbors[a], edge{peer: b, port: pa})
+	n.neighbors[b] = append(n.neighbors[b], edge{peer: a, port: pb})
+}
+
+// Host returns a host by name, panicking if absent (construction-time
+// errors are programming errors in experiment definitions).
+func (n *Network) Host(name string) *nic.NIC {
+	h, ok := n.Hosts[name]
+	if !ok {
+		panic("topology: no host " + name)
+	}
+	return h
+}
+
+// Switch returns a switch by name, panicking if absent.
+func (n *Network) Switch(name string) *fabric.Switch {
+	s, ok := n.Switches[name]
+	if !ok {
+		panic("topology: no switch " + name)
+	}
+	return s
+}
+
+// HostNames returns host names in creation order.
+func (n *Network) HostNames() []string { return n.hostOrder }
+
+// ComputeRoutes installs shortest-path ECMP routing for every host
+// destination on every switch. Must be called once after wiring.
+func (n *Network) ComputeRoutes() {
+	for _, tor := range n.swOrder {
+		torSw := n.Switches[tor]
+		for _, he := range n.attached[torSw] {
+			n.routeToHost(torSw, he)
+		}
+	}
+}
+
+// routeToHost installs routes toward one host on all switches via BFS
+// from the host's ToR.
+func (n *Network) routeToHost(tor *fabric.Switch, he hostEdge) {
+	dist := map[*fabric.Switch]int{tor: 0}
+	queue := []*fabric.Switch{tor}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range n.neighbors[cur] {
+			if _, seen := dist[e.peer]; !seen {
+				dist[e.peer] = dist[cur] + 1
+				queue = append(queue, e.peer)
+			}
+		}
+	}
+	dst := he.host.ID
+	tor.AddRoute(dst, he.port)
+	for _, name := range n.swOrder {
+		sw := n.Switches[name]
+		if sw == tor {
+			continue
+		}
+		d, reachable := dist[sw]
+		if !reachable {
+			continue
+		}
+		var ports []int
+		for _, e := range n.neighbors[sw] {
+			if dd, ok := dist[e.peer]; ok && dd == d-1 {
+				ports = append(ports, e.port)
+			}
+		}
+		if len(ports) == 0 {
+			panic(fmt.Sprintf("topology: no downhill neighbor from %s toward %s", sw.Name, he.host.Name))
+		}
+		sw.AddRoute(dst, ports...)
+	}
+}
+
+func (n *Network) allocID() packet.NodeID {
+	id := n.nextID
+	n.nextID++
+	return id
+}
+
+func (n *Network) takePort(sw *fabric.Switch) int {
+	p := n.swPorts[sw]
+	if p >= sw.NumPorts() {
+		panic(fmt.Sprintf("topology: switch %s out of ports", sw.Name))
+	}
+	n.swPorts[sw] = p + 1
+	return p
+}
+
+// HostLink returns the link attaching a host to its ToR, e.g. to inject
+// non-congestion losses (§7) or read link counters.
+func (n *Network) HostLink(host string) *link.Link {
+	l, ok := n.hostLinks[host]
+	if !ok {
+		panic("topology: no host link for " + host)
+	}
+	return l
+}
+
+// FabricLinks returns all switch-to-switch links in wiring order.
+func (n *Network) FabricLinks() []*link.Link { return n.fabricLinks }
+
+// SetLossRate applies a per-frame corruption probability to every link
+// in the network — the random-loss environment of the paper's §7
+// discussion of non-congestion losses.
+func (n *Network) SetLossRate(p float64) {
+	for _, l := range n.hostLinks {
+		l.SetLossRate(p)
+	}
+	for _, l := range n.fabricLinks {
+		l.SetLossRate(p)
+	}
+}
+
+// NewTestbed builds the paper's Fig. 2 network: ToRs T1..T4 (T1,T2 in the
+// left pod under leaves L1,L2; T3,T4 in the right pod under L3,L4), both
+// pods joined by spines S1,S2, and HostsPerToR hosts per ToR named
+// H<tor><i> (e.g. H11..H15 under T1). All links run at the switch line
+// rate.
+func NewTestbed(seed int64, opts Options) *Network {
+	n := NewNetwork(seed, opts)
+	ports := opts.HostsPerToR + 4 // hosts + 2 uplinks, slack for rigs
+	if ports < 8 {
+		ports = 8
+	}
+	for i := 1; i <= 4; i++ {
+		n.AddSwitch(fmt.Sprintf("T%d", i), ports)
+	}
+	for i := 1; i <= 4; i++ {
+		n.AddSwitch(fmt.Sprintf("L%d", i), 8)
+	}
+	n.AddSwitch("S1", 8)
+	n.AddSwitch("S2", 8)
+
+	// Pods: T1,T2 under L1,L2; T3,T4 under L3,L4.
+	for _, w := range []struct{ tor, leaf string }{
+		{"T1", "L1"}, {"T1", "L2"}, {"T2", "L1"}, {"T2", "L2"},
+		{"T3", "L3"}, {"T3", "L4"}, {"T4", "L3"}, {"T4", "L4"},
+	} {
+		n.ConnectSwitches(n.Switch(w.tor), n.Switch(w.leaf))
+	}
+	// Leaves to spines.
+	for _, leaf := range []string{"L1", "L2", "L3", "L4"} {
+		n.ConnectSwitches(n.Switch(leaf), n.Switch("S1"))
+		n.ConnectSwitches(n.Switch(leaf), n.Switch("S2"))
+	}
+	// Hosts: H<t><i>.
+	for t := 1; t <= 4; t++ {
+		for i := 1; i <= opts.HostsPerToR; i++ {
+			n.AddHost(fmt.Sprintf("H%d%d", t, i), n.Switch(fmt.Sprintf("T%d", t)))
+		}
+	}
+	n.ComputeRoutes()
+	return n
+}
+
+// NewStar builds hosts H1..Hn around a single switch SW — the rig of the
+// paper's microbenchmarks (§6.1: two or three machines, one Arista
+// switch; incast scaling up to 20:1).
+func NewStar(seed int64, hosts int, opts Options) *Network {
+	n := NewNetwork(seed, opts)
+	sw := n.AddSwitch("SW", hosts)
+	for i := 1; i <= hosts; i++ {
+		n.AddHost(fmt.Sprintf("H%d", i), sw)
+	}
+	n.ComputeRoutes()
+	return n
+}
+
+// NewFatTree builds a k-ary fat tree (Al-Fares et al.): k pods each with
+// k/2 edge and k/2 aggregation switches, (k/2)² core switches, and k/2
+// hosts per edge switch — k³/4 hosts total. k must be even and >= 2.
+// Hosts are named P<pod>E<edge>H<n> (all 1-based). This generalizes the
+// paper's testbed for scale studies beyond its 4-ToR Clos.
+func NewFatTree(seed int64, k int, opts Options) *Network {
+	if k < 2 || k%2 != 0 {
+		panic("topology: fat tree arity must be even and >= 2")
+	}
+	n := NewNetwork(seed, opts)
+	half := k / 2
+
+	cores := make([]*fabric.Switch, half*half)
+	for i := range cores {
+		cores[i] = n.AddSwitch(fmt.Sprintf("C%d", i+1), k)
+	}
+	for p := 1; p <= k; p++ {
+		var aggs, edges []*fabric.Switch
+		for a := 1; a <= half; a++ {
+			aggs = append(aggs, n.AddSwitch(fmt.Sprintf("P%dA%d", p, a), k))
+		}
+		for e := 1; e <= half; e++ {
+			edges = append(edges, n.AddSwitch(fmt.Sprintf("P%dE%d", p, e), k))
+		}
+		// Full bipartite edge-aggregation mesh within the pod.
+		for _, agg := range aggs {
+			for _, edge := range edges {
+				n.ConnectSwitches(edge, agg)
+			}
+		}
+		// Aggregation a connects to core group a: cores (a-1)*half .. a*half-1.
+		for a, agg := range aggs {
+			for c := 0; c < half; c++ {
+				n.ConnectSwitches(agg, cores[a*half+c])
+			}
+		}
+		// Hosts.
+		for e, edge := range edges {
+			for h := 1; h <= half; h++ {
+				n.AddHost(fmt.Sprintf("P%dE%dH%d", p, e+1, h), edge)
+			}
+		}
+	}
+	n.ComputeRoutes()
+	return n
+}

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcqcn/internal/nic"
+	"dcqcn/internal/simtime"
+	"dcqcn/internal/topology"
+)
+
+func TestSizeDistSampling(t *testing.T) {
+	d := StorageTraceDist()
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	var small, large int
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		if s < 1 {
+			t.Fatal("non-positive sample")
+		}
+		if s > 32e6 {
+			t.Fatalf("sample %d beyond final knot", s)
+		}
+		if s <= 32000 {
+			small++
+		}
+		if s > 2e6 {
+			large++
+		}
+	}
+	// CDF says 55% of flows are <= 32KB and 6% are > 2MB.
+	if frac := float64(small) / n; math.Abs(frac-0.55) > 0.02 {
+		t.Errorf("small fraction %.3f, want ~0.55", frac)
+	}
+	if frac := float64(large) / n; math.Abs(frac-0.06) > 0.01 {
+		t.Errorf("large fraction %.3f, want ~0.06", frac)
+	}
+}
+
+func TestSizeDistMeanMatchesSampling(t *testing.T) {
+	d := StorageTraceDist()
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	sampled := sum / n
+	analytic := d.Mean()
+	if rel := math.Abs(sampled-analytic) / analytic; rel > 0.05 {
+		t.Errorf("sampled mean %.0f vs analytic %.0f (rel err %.3f)", sampled, analytic, rel)
+	}
+}
+
+func TestNewSizeDistValidation(t *testing.T) {
+	for i, build := range []func(){
+		func() { NewSizeDist(nil, nil) },
+		func() { NewSizeDist([]int64{10}, []float64{0.5}) },          // doesn't end at 1
+		func() { NewSizeDist([]int64{10, 20}, []float64{0.8, 0.5}) }, // not increasing
+		func() { NewSizeDist([]int64{0, 20}, []float64{0.5, 1.0}) },  // zero size
+		func() { NewSizeDist([]int64{10, 20}, []float64{0.5}) },      // length mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid dist did not panic", i)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestLoopRunsBackToBack(t *testing.T) {
+	net := topology.NewStar(1, 2, topology.DefaultOptions())
+	flow := net.Host("H1").OpenFlow(net.Host("H2").ID)
+	loop := NewLoop("test", flow, FixedSize(1000*1000))
+	loop.Start()
+	net.Sim.Run(simtime.Time(10 * simtime.Millisecond))
+	if loop.Transfers < 10 {
+		t.Fatalf("only %d transfers in 10ms at 40G, want many", loop.Transfers)
+	}
+	if loop.Bytes != loop.Transfers*1000*1000 {
+		t.Fatalf("bytes %d inconsistent with %d transfers", loop.Bytes, loop.Transfers)
+	}
+	if loop.Throughput.N() != int(loop.Transfers) || loop.FCT.N() != int(loop.Transfers) {
+		t.Fatal("per-transfer samples missing")
+	}
+	// Per-transfer goodput close to line rate on an idle path.
+	if loop.Throughput.Median() < 30e9 {
+		t.Fatalf("median per-transfer goodput %.1fG", loop.Throughput.Median()/1e9)
+	}
+}
+
+func TestLoopStopAndLimit(t *testing.T) {
+	net := topology.NewStar(2, 2, topology.DefaultOptions())
+	flow := net.Host("H1").OpenFlow(net.Host("H2").ID)
+	loop := NewLoop("lim", flow, FixedSize(100*1000))
+	loop.Limit = 3
+	loop.Start()
+	net.Sim.Run(simtime.Time(20 * simtime.Millisecond))
+	if loop.Transfers != 3 {
+		t.Fatalf("limited loop ran %d transfers, want 3", loop.Transfers)
+	}
+
+	flow2 := net.Host("H2").OpenFlow(net.Host("H1").ID)
+	loop2 := NewLoop("stop", flow2, FixedSize(100*1000))
+	loop2.Start()
+	loop2.Stop()
+	net.Sim.Run(simtime.Time(40 * simtime.Millisecond))
+	if loop2.Transfers > 1 {
+		t.Fatalf("stopped loop kept going: %d transfers", loop2.Transfers)
+	}
+}
+
+func TestRandomPairs(t *testing.T) {
+	net := topology.NewTestbed(3, topology.DefaultOptions())
+	rng := rand.New(rand.NewSource(42))
+	open := func(src, dst string) *nic.Flow {
+		return net.Host(src).OpenFlow(net.Host(dst).ID)
+	}
+	pairs := RandomPairs(20, net.HostNames(), rng, StorageTraceDist(), open)
+	if len(pairs) != 20 {
+		t.Fatalf("%d pairs, want 20", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			t.Fatalf("self-pair %s", p.Src)
+		}
+		p.Loop.Start()
+	}
+	net.Sim.Run(simtime.Time(5 * simtime.Millisecond))
+	var done int64
+	for _, p := range pairs {
+		done += p.Loop.Transfers
+	}
+	if done == 0 {
+		t.Fatal("no user transfers completed")
+	}
+}
+
+func TestIncast(t *testing.T) {
+	net := topology.NewStar(4, 6, topology.DefaultOptions())
+	open := func(src, dst string) *nic.Flow {
+		return net.Host(src).OpenFlow(net.Host(dst).ID)
+	}
+	loops := Incast("H6", []string{"H1", "H2", "H3", "H4", "H5"}, 2*1000*1000, open)
+	StartAll(loops)
+	net.Sim.Run(simtime.Time(30 * simtime.Millisecond))
+	total := 0.0
+	for _, l := range loops {
+		if l.Transfers == 0 {
+			t.Fatalf("incast sender %s never completed a chunk", l.Name)
+		}
+		total += float64(l.Bytes) * 8 / 0.03
+	}
+	// Receiver link is 40G; aggregate goodput should approach but not
+	// exceed it.
+	if total > 40e9 {
+		t.Fatalf("aggregate incast throughput %.1fG exceeds link", total/1e9)
+	}
+	if total < 20e9 {
+		t.Fatalf("aggregate incast throughput %.1fG too low", total/1e9)
+	}
+}
+
+func TestOpenLoopPoisson(t *testing.T) {
+	net := topology.NewStar(7, 3, topology.DefaultOptions())
+	rng := rand.New(rand.NewSource(5))
+	src, dst := net.Host("H1"), net.Host("H2")
+	const load = 5e9 // 5 Gb/s offered on a 40G path: uncongested
+	ol, stop := StartOpenLoop(OpenLoopConfig{
+		Load:  load,
+		Dist:  StorageTraceDist(),
+		Rng:   rng,
+		Open:  func() *nic.Flow { return src.OpenFlow(dst.ID) },
+		Close: func(f *nic.Flow) { f.Close() },
+		After: func(d simtime.Duration, fn func()) { net.Sim.After(d, fn) },
+	})
+	const horizon = 50 * simtime.Millisecond
+	net.Sim.Run(simtime.Time(horizon))
+	stop()
+	net.Sim.Run(simtime.Time(horizon + 20*simtime.Millisecond)) // drain
+
+	if ol.Arrivals < 10 {
+		t.Fatalf("only %d arrivals in 50ms at 5G offered", ol.Arrivals)
+	}
+	// Achieved load should be near offered (uncongested path): within 40%
+	// (Poisson + heavy-tailed sizes are noisy over 50ms).
+	achieved := float64(ol.Bytes) * 8 / horizon.Seconds()
+	if achieved < load*0.6 || achieved > load*1.6 {
+		t.Fatalf("achieved load %.2fG vs offered %.2fG", achieved/1e9, load/1e9)
+	}
+	if ol.FCT.N() == 0 || ol.Throughput.N() == 0 {
+		t.Fatal("no completion samples")
+	}
+	// Generator stopped: arrivals frozen.
+	before := ol.Arrivals
+	net.Sim.Run(simtime.Time(horizon + 40*simtime.Millisecond))
+	if ol.Arrivals != before {
+		t.Fatal("arrivals after stop")
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing config did not panic")
+		}
+	}()
+	StartOpenLoop(OpenLoopConfig{})
+}

@@ -1,0 +1,269 @@
+package dcqcn
+
+import (
+	"io"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/nic"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/rocev2"
+	"dcqcn/internal/simtime"
+	"dcqcn/internal/topology"
+	"dcqcn/internal/trace"
+)
+
+// Options configures network construction. Obtain a baseline from
+// DefaultOptions and refine it with the With... helpers.
+type Options struct {
+	inner topology.Options
+}
+
+// DefaultOptions returns the paper's deployed configuration: DCQCN with
+// the Fig. 14 parameters on 40 Gb/s links, PFC with dynamic thresholds
+// per §4, and RED/ECN marking.
+func DefaultOptions() Options {
+	return Options{inner: topology.DefaultOptions()}
+}
+
+// WithDCQCN replaces the DCQCN parameter set used by NICs and switches.
+func (o Options) WithDCQCN(params Params) Options {
+	o.inner.NIC.Controller = nic.DCQCNFactory(params)
+	o.inner.NIC.NP = params
+	o.inner.Switch.Marking = params
+	return o
+}
+
+// WithPFCOnly disables congestion control entirely: uncontrolled
+// line-rate senders over a lossless PFC fabric (the paper's "No DCQCN"
+// baseline, which exhibits the Fig. 3/4 pathologies).
+func (o Options) WithPFCOnly() Options {
+	o.inner.NIC.Controller = nic.FixedRateFactory(o.inner.NIC.LineRate)
+	o.inner.NIC.NPEnabled = false
+	o.inner.Switch.Marking.KMin = 1 << 40
+	o.inner.Switch.Marking.KMax = 1 << 40
+	return o
+}
+
+// WithoutPFC disables PFC (packets may be tail-dropped, Fig. 18).
+func (o Options) WithoutPFC() Options {
+	o.inner.Switch.PFCEnabled = false
+	return o
+}
+
+// WithECMPSeed perturbs every switch's ECMP hash, re-rolling flow
+// placement.
+func (o Options) WithECMPSeed(seed uint64) Options {
+	o.inner.ECMPSeedBase = seed
+	return o
+}
+
+// WithLinkDelay sets host and fabric one-way propagation delays.
+func (o Options) WithLinkDelay(d Duration) Options {
+	o.inner.HostLinkDelay = d
+	o.inner.FabricLinkDelay = d
+	return o
+}
+
+// WithHostsPerToR sets testbed host fan-out (default 5, as in §6.2).
+func (o Options) WithHostsPerToR(n int) Options {
+	o.inner.HostsPerToR = n
+	return o
+}
+
+// Network is a built, routed simulation: hosts, switches and the clock.
+type Network struct {
+	net *topology.Network
+}
+
+// NewTestbedNetwork builds the paper's Fig. 2 three-tier Clos testbed:
+// ToRs T1-T4, leaves L1-L4, spines S1-S2, and HostsPerToR hosts per ToR
+// named H11..H45. seed drives all randomness; equal seeds give
+// bit-identical runs.
+func NewTestbedNetwork(seed int64, opts Options) *Network {
+	return &Network{net: topology.NewTestbed(seed, opts.inner)}
+}
+
+// NewStarNetwork builds hosts H1..Hn around a single switch SW — the
+// microbenchmark rig of §6.1.
+func NewStarNetwork(seed int64, hosts int, opts Options) *Network {
+	return &Network{net: topology.NewStar(seed, hosts, opts.inner)}
+}
+
+// Host returns a host endpoint by name (H11.. on the testbed, H1.. on a
+// star). It panics on unknown names: scenario construction errors are
+// programming errors.
+func (n *Network) Host(name string) *Host {
+	return &Host{nic: n.net.Host(name)}
+}
+
+// HostNames lists hosts in creation order.
+func (n *Network) HostNames() []string { return n.net.HostNames() }
+
+// Now returns the current simulated time.
+func (n *Network) Now() Time { return n.net.Sim.Now() }
+
+// RunFor advances the simulation by d.
+func (n *Network) RunFor(d Duration) { n.net.Sim.Run(n.net.Sim.Now().Add(d)) }
+
+// RunUntil advances the simulation to absolute time t.
+func (n *Network) RunUntil(t Time) { n.net.Sim.Run(t) }
+
+// At schedules fn at absolute simulated time t.
+func (n *Network) At(t Time, fn func()) { n.net.Sim.At(t, fn) }
+
+// Every invokes fn every period until the returned stop function is
+// called — the sampling primitive for rate and queue time series.
+func (n *Network) Every(period Duration, fn func(now Time)) (stop func()) {
+	return n.net.Sim.Ticker(period, fn)
+}
+
+// SwitchStats summarizes one switch's counters.
+type SwitchStats struct {
+	Forwarded     int64
+	Drops         int64
+	PauseSent     int64
+	PauseReceived int64
+	EcnMarked     int64
+	MaxOccupied   int64
+}
+
+// Switch returns a switch's counters by name (SW on a star; T1..T4,
+// L1..L4, S1, S2 on the testbed).
+func (n *Network) Switch(name string) SwitchStats {
+	sw := n.net.Switch(name)
+	return SwitchStats{
+		Forwarded:     sw.Stats.Forwarded,
+		Drops:         sw.Stats.Drops,
+		PauseSent:     sw.Stats.PauseSent,
+		PauseReceived: sw.PauseReceived(),
+		EcnMarked:     sw.Stats.EcnMarked,
+		MaxOccupied:   sw.Stats.MaxOccupied,
+	}
+}
+
+// QueueLength returns the egress data-class queue (bytes) of the switch
+// port facing the named host — the quantity the paper's latency analysis
+// samples.
+func (n *Network) QueueLength(switchName string, port int) int64 {
+	return n.net.Switch(switchName).EgressQueue(port, packet.PrioData)
+}
+
+// TotalDrops sums packet drops across every switch.
+func (n *Network) TotalDrops() int64 {
+	var total int64
+	for _, sw := range n.net.Switches {
+		total += sw.Stats.Drops
+	}
+	return total
+}
+
+// Host is one server endpoint (an RDMA NIC).
+type Host struct {
+	nic *nic.NIC
+}
+
+// NodeID returns the host's network address.
+func (h *Host) NodeID() packet.NodeID { return h.nic.ID }
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.nic.Name }
+
+// OpenFlow creates a flow (queue pair plus congestion controller) toward
+// the destination host.
+func (h *Host) OpenFlow(dst packet.NodeID) *Flow {
+	return &Flow{inner: h.nic.OpenFlow(dst)}
+}
+
+// CNPsSent returns the number of congestion notifications this host's
+// NIC generated as a receiver.
+func (h *Host) CNPsSent() int64 { return h.nic.Stats.CNPsSent }
+
+// CNPsReceived returns congestion notifications received as a sender.
+func (h *Host) CNPsReceived() int64 { return h.nic.Stats.CNPsReceived }
+
+// Completion describes one finished message transfer.
+type Completion = rocev2.Completion
+
+// FlowStats counts one flow's transport activity.
+type FlowStats = rocev2.SenderStats
+
+// Flow is an open sender queue pair.
+type Flow struct {
+	inner *nic.Flow
+}
+
+// PostMessage queues size bytes for transmission; onComplete (optional)
+// fires when the whole message has been acknowledged.
+func (f *Flow) PostMessage(size int64, onComplete func(Completion)) {
+	f.inner.PostMessage(size, onComplete)
+}
+
+// CurrentRate returns the rate the flow's rate limiter allows right now:
+// line rate when unlimited, the DCQCN RC when congestion-controlled.
+func (f *Flow) CurrentRate() Rate { return f.inner.CurrentRate() }
+
+// Stats returns transport counters (bytes sent/acked, retransmits, ...).
+func (f *Flow) Stats() FlowStats { return f.inner.Stats() }
+
+// ReactionPoint returns the flow's DCQCN RP for state inspection, or nil
+// when the flow runs another controller.
+func (f *Flow) ReactionPoint() *RP {
+	rp, _ := f.inner.Controller().(*core.RP)
+	return rp
+}
+
+// Close releases the flow.
+func (f *Flow) Close() { f.inner.Close() }
+
+// LineRate40G is the testbed port speed.
+const LineRate40G = 40 * simtime.Gbps
+
+// UplinkOf returns which egress port the named switch would pick for the
+// flow — the ECMP decision. Experiments that need hash collisions (the
+// §7 parking lot) open flows until two share an uplink.
+func (n *Network) UplinkOf(switchName string, f *Flow) int {
+	port, ok := n.net.Switch(switchName).RouteChoice(f.inner.Tuple())
+	if !ok {
+		return -1
+	}
+	return port
+}
+
+// Recorder samples named gauges periodically for CSV export — how the
+// repository's time-series figures are produced.
+type Recorder struct {
+	inner *trace.Recorder
+}
+
+// NewRecorder creates a recorder on this network's clock sampling every
+// period. Register gauges, then Start it.
+func (n *Network) NewRecorder(period Duration) *Recorder {
+	return &Recorder{inner: trace.NewRecorder(n.net.Sim, period)}
+}
+
+// Gauge registers a quantity to sample (before Start).
+func (r *Recorder) Gauge(name string, fn func() float64) { r.inner.Gauge(name, fn) }
+
+// GaugeRate registers a flow's paced rate in Gb/s.
+func (r *Recorder) GaugeRate(name string, f *Flow) {
+	r.inner.Gauge(name, func() float64 { return float64(f.CurrentRate()) / 1e9 })
+}
+
+// Start begins sampling; Stop ends it.
+func (r *Recorder) Start() { r.inner.Start() }
+
+// Stop ends sampling.
+func (r *Recorder) Stop() { r.inner.Stop() }
+
+// WriteCSV emits all series as a CSV table.
+func (r *Recorder) WriteCSV(w io.Writer) error { return r.inner.WriteCSV(w) }
+
+// SetLossRate injects per-frame random corruption on every link — the
+// non-congestion loss environment of the paper's §7.
+func (n *Network) SetLossRate(p float64) { n.net.SetLossRate(p) }
+
+// NewFatTreeNetwork builds a k-ary fat tree (k even): k³/4 hosts named
+// P<pod>E<edge>H<n>, for scale studies beyond the paper's testbed.
+func NewFatTreeNetwork(seed int64, k int, opts Options) *Network {
+	return &Network{net: topology.NewFatTree(seed, k, opts.inner)}
+}
