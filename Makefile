@@ -1,0 +1,43 @@
+# Developer entry points. `make check` is the pre-PR gate: formatting,
+# vet, a full build, and the test suite under the race detector. The
+# sweep smoke target exercises the parallel harness end to end (all
+# scenarios in short mode, determinism gate on) and leaves its artifacts
+# in sweep-out/.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench sweep-smoke sweep clean
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkSweep -benchtime=1x .
+
+# Quick end-to-end exercise of the harness: one scenario, 4 workers,
+# determinism gate on. Artifacts land in sweep-out/.
+sweep-smoke:
+	$(GO) run ./cmd/dcqcn-sweep -scenario randomloss -parallel 4 \
+		-check-determinism -quiet -out sweep-out
+
+# The full evaluation sweep (every registered scenario).
+sweep:
+	$(GO) run ./cmd/dcqcn-sweep -parallel 0 -check-determinism -out sweep-out
+
+clean:
+	rm -rf sweep-out

@@ -15,6 +15,7 @@ import (
 
 	"dcqcn/internal/experiments"
 	"dcqcn/internal/fluid"
+	"dcqcn/internal/harness"
 	"dcqcn/internal/hostmodel"
 	"dcqcn/internal/simtime"
 )
@@ -346,6 +347,52 @@ func BenchmarkAblationCNPPriority(b *testing.B) {
 	b.ReportMetric(rs[0].Metrics["mean |r1-r2| (Gbps)"], "highprio-diff-Gbps")
 	b.ReportMetric(rs[1].Metrics["mean |r1-r2| (Gbps)"], "dataprio-diff-Gbps")
 }
+
+// --- Sweep-harness benches (sequential vs parallel orchestration) ---
+
+// sweepBenchGrid builds the harness benchmark grid: the §7 loss study at
+// 4 seeds per point — 16 independent single-threaded simulations, enough
+// work to keep a small worker pool saturated.
+func sweepBenchGrid(b *testing.B) []harness.Scenario {
+	b.Helper()
+	fid := experiments.Fidelity{
+		Duration: 10 * simtime.Millisecond,
+		Warmup:   5 * simtime.Millisecond,
+		Runs:     4,
+	}
+	reg := harness.NewRegistry()
+	experiments.RegisterScenarios(reg, fid)
+	scs, err := reg.Select("randomloss")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scs
+}
+
+func benchSweep(b *testing.B, parallel int) {
+	scs := sweepBenchGrid(b)
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Sweep(scs, harness.Config{Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.TotalEvents
+	}
+	b.ReportMetric(float64(events), "events/sweep")
+}
+
+// BenchmarkSweepSequential times the benchmark grid at -parallel 1.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel4 times the same grid at -parallel 4. The ns/op
+// ratio against BenchmarkSweepSequential is the orchestration speedup;
+// it approaches min(4, NumCPU) on idle multi-core hardware and ~1.0x on
+// a single-core machine (the runs are CPU-bound). The same comparison is
+// available end to end via `dcqcn-sweep -bench`, which records the
+// measured speedup in provenance.json.
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
 
 // BenchmarkAblationRAI: R_AI versus incast scalability (32:1).
 func BenchmarkAblationRAI(b *testing.B) {

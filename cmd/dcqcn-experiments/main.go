@@ -2,9 +2,14 @@
 // DCQCN paper's evaluation on the simulated testbed and prints them in
 // the order the paper presents them.
 //
+// Packet-level experiments are consumed from the sweep-harness scenario
+// registry (the same registry cmd/dcqcn-sweep exposes), so each figure
+// is a parallel multi-seed sweep with per-point aggregates; fluid-model,
+// host-model and analytical figures remain direct calls.
+//
 // Usage:
 //
-//	dcqcn-experiments [-full] [-only fig16] [-list]
+//	dcqcn-experiments [-full] [-only fig16] [-list] [-parallel N]
 //
 // -full uses the high-fidelity settings recorded in EXPERIMENTS.md
 // (minutes of CPU time); the default quick settings finish in well under
@@ -21,40 +26,53 @@ import (
 
 	"dcqcn/internal/buffercalc"
 	"dcqcn/internal/experiments"
+	"dcqcn/internal/harness"
 )
 
 type experiment struct {
 	name string
 	desc string
-	run  func(fid experiments.Fidelity) string
+	run  func() string
 }
 
-func all() []experiment {
+// sweep renders the named registry scenarios (a Select expression) by
+// sweeping them over the worker pool and printing per-point aggregates.
+func sweep(reg *harness.Registry, selection string, parallel int) func() string {
+	return func() string {
+		scs, err := reg.Select(selection)
+		if err != nil {
+			return err.Error() + "\n"
+		}
+		res, err := harness.Sweep(scs, harness.Config{Parallel: parallel})
+		if err != nil {
+			return err.Error() + "\n"
+		}
+		var b strings.Builder
+		for i, sc := range scs {
+			if len(scs) > 1 {
+				if i > 0 {
+					b.WriteString("\n")
+				}
+				fmt.Fprintf(&b, "%s:\n", sc.Name)
+			}
+			b.WriteString(res.Table(sc.Name))
+		}
+		return b.String()
+	}
+}
+
+func all(reg *harness.Registry, fid experiments.Fidelity, parallel int) []experiment {
 	return []experiment{
 		{"fig1", "TCP vs RDMA throughput / CPU / latency (host model)",
-			func(experiments.Fidelity) string { return experiments.Fig1Table() }},
-		{"fig3", "PFC unfairness: H1-H4 -> R, PFC only",
-			func(fid experiments.Fidelity) string {
-				return experiments.Unfairness(experiments.ModePFCOnly, fid).Table()
-			}},
-		{"fig4", "Victim flow vs senders under T3, PFC only",
-			func(fid experiments.Fidelity) string {
-				return experiments.VictimFlow(experiments.ModePFCOnly, []int{0, 1, 2}, fid).Table()
-			}},
-		{"fig8", "DCQCN fixes the unfairness of fig3",
-			func(fid experiments.Fidelity) string {
-				return experiments.Unfairness(experiments.ModeDCQCN, fid).Table()
-			}},
-		{"fig9", "DCQCN fixes the victim flow of fig4",
-			func(fid experiments.Fidelity) string {
-				return experiments.VictimFlow(experiments.ModeDCQCN, []int{0, 1, 2}, fid).Table()
-			}},
+			func() string { return experiments.Fig1Table() }},
+		{"fig3+8", "PFC unfairness H1-H4 -> R; DCQCN fixes it",
+			sweep(reg, "unfairness", parallel)},
+		{"fig4+9", "Victim flow vs senders under T3, per mode",
+			sweep(reg, "victimflow", parallel)},
 		{"fig10", "Fluid model vs packet-level implementation",
-			func(fid experiments.Fidelity) string {
-				return experiments.FluidVsPacket(fid).Table()
-			}},
+			func() string { return experiments.FluidVsPacket(fid).Table() }},
 		{"fig11", "Convergence sweeps: byte counter, timer, Kmax, Pmax (fluid)",
-			func(experiments.Fidelity) string {
+			func() string {
 				sweeps := experiments.Fig11Sweeps()
 				keys := make([]string, 0, len(sweeps))
 				for k := range sweeps {
@@ -71,28 +89,17 @@ func all() []experiment {
 				return b.String()
 			}},
 		{"fig12", "Queue length vs g (fluid, 2:1 and 16:1 incast)",
-			func(experiments.Fidelity) string {
+			func() string {
 				return experiments.Fig12Table(experiments.Fig12AlphaGain())
 			}},
 		{"fig13", "Parameter validation microbenchmarks (packet-level)",
-			func(fid experiments.Fidelity) string {
-				return experiments.Fig13Table(experiments.Fig13All(fid))
-			}},
+			sweep(reg, "convergence-fig13", parallel)},
 		{"fig14", "Deployed parameter table",
-			func(experiments.Fidelity) string { return paramsTable() }},
+			func() string { return paramsTable() }},
 		{"fig15+16", "Benchmark traffic: user/incast percentiles and spine PAUSEs",
-			func(fid experiments.Fidelity) string {
-				degrees := []int{2, 4, 6, 8, 10}
-				var b strings.Builder
-				b.WriteString(experiments.Fig16Table(experiments.ModePFCOnly,
-					experiments.Fig16(experiments.ModePFCOnly, degrees, fid)))
-				b.WriteString("\n")
-				b.WriteString(experiments.Fig16Table(experiments.ModeDCQCN,
-					experiments.Fig16(experiments.ModeDCQCN, degrees, fid)))
-				return b.String()
-			}},
+			sweep(reg, "benchmark-fig16", parallel)},
 		{"fig17", "16x load: 5 pairs no-DCQCN vs 80 pairs DCQCN (incast 10)",
-			func(fid experiments.Fidelity) string {
+			func() string {
 				r := experiments.Fig17(5, 80, 10, fid)
 				return fmt.Sprintf(
 					"user median: no-DCQCN(5 pairs) %.2fG vs DCQCN(80 pairs) %.2fG\n"+
@@ -101,64 +108,34 @@ func all() []experiment {
 					len(r.NoDCQCNUser), len(r.DCQCNUser))
 			}},
 		{"fig18", "Need for PFC and correct thresholds (8:1 incast)",
-			func(fid experiments.Fidelity) string {
-				return experiments.Fig18Table(experiments.Fig18(8, fid))
-			}},
+			sweep(reg, "fig18", parallel)},
 		{"fig19", "Queue length CDF: DCQCN vs DCTCP (20:1 incast)",
-			func(fid experiments.Fidelity) string {
+			func() string {
 				r := experiments.Fig19(fid)
 				return r.Table()
 			}},
 		{"fig20", "Multi-bottleneck parking lot: cut-off vs RED marking",
-			func(fid experiments.Fidelity) string {
-				return experiments.Fig20Table(experiments.Fig20(fid))
-			}},
+			func() string { return experiments.Fig20Table(experiments.Fig20(fid)) }},
 		{"sec7-loss", "Non-congestion random loss vs go-back-N goodput",
-			func(fid experiments.Fidelity) string {
-				return experiments.RandomLossTable(
-					experiments.RandomLoss([]float64{0, 1e-5, 1e-4, 1e-3}, fid))
-			}},
+			sweep(reg, "randomloss", parallel)},
 		{"sec4", "Buffer thresholds (t_flight, t_PFC, t_ECN)",
-			func(experiments.Fidelity) string { return bufferTable() }},
+			func() string { return bufferTable() }},
 		{"sec6.1", "K:1 incast summary: utilization, queue, losslessness",
-			func(fid experiments.Fidelity) string {
-				return experiments.IncastSummaryTable(
-					experiments.IncastSummary([]int{2, 4, 8, 16, 20}, fid))
-			}},
+			sweep(reg, "incast", parallel)},
 		{"classes", "Extension: PFC class isolation (multi-class, DRR)",
-			func(fid experiments.Fidelity) string {
+			func() string {
 				return experiments.ClassIsolationTable(experiments.ClassIsolation(fid))
 			}},
 		{"timely", "Extension: DCQCN (ECN) vs TIMELY (delay) baseline",
-			func(fid experiments.Fidelity) string {
+			func() string {
 				return experiments.TimelyComparisonTable(experiments.TimelyComparison(fid))
 			}},
-		{"ablations", "Design-choice ablations",
-			func(fid experiments.Fidelity) string {
-				var b strings.Builder
-				b.WriteString("timer vs byte counter:\n")
-				b.WriteString(experiments.AblationTable(
-					experiments.AblationTimerVsByteCounter(fid), "mean |r1-r2| (Gbps)", "total (Gbps)"))
-				b.WriteString("\nalpha gain g (16:1 incast, packet-level):\n")
-				b.WriteString(experiments.AblationTable(
-					experiments.AblationG(fid), "queue p50 (KB)", "queue p99 (KB)", "queue sd (KB)"))
-				b.WriteString("\nfast start vs slow start (500KB transfer, 40us RTT):\n")
-				b.WriteString(experiments.AblationTable(
-					experiments.AblationFastStart(), "FCT (us)"))
-				b.WriteString("\nCNP priority:\n")
-				b.WriteString(experiments.AblationTable(
-					experiments.AblationCNPPriority(fid), "mean |r1-r2| (Gbps)", "total (Gbps)"))
-				b.WriteString("\nR_AI at 32:1 incast:\n")
-				b.WriteString(experiments.AblationTable(
-					experiments.AblationRAI(fid), "queue p50 (KB)", "queue p99 (KB)", "pauses"))
-				return b.String()
-			}},
+		{"ablations", "Design-choice ablations (g, R_AI, timer, CNP priority)",
+			sweep(reg, "ablation-*", parallel)},
 	}
 }
 
 func paramsTable() string {
-	p := experiments.ModeDCQCN // silence unused lint paths
-	_ = p
 	return `parameter     value        (paper Fig. 14)
 ------------  -----------
 timer         55 us
@@ -183,14 +160,17 @@ func main() {
 	full := flag.Bool("full", false, "high-fidelity runs (slow)")
 	only := flag.String("only", "", "run a single experiment by name")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", 0, "worker pool for scenario sweeps (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	fid := experiments.Quick()
 	if *full {
 		fid = experiments.Full()
 	}
+	reg := harness.NewRegistry()
+	experiments.RegisterScenarios(reg, fid)
 
-	exps := all()
+	exps := all(reg, fid, *parallel)
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)
@@ -204,7 +184,7 @@ func main() {
 		}
 		ran++
 		start := time.Now()
-		out := e.run(fid)
+		out := e.run()
 		fmt.Printf("=== %s — %s [%.1fs]\n%s\n", e.name, e.desc, time.Since(start).Seconds(), out)
 	}
 	if ran == 0 {

@@ -1,0 +1,160 @@
+// Command dcqcn-sweep runs the registered experiment scenarios as a
+// parallel sweep: every (scenario, grid point, seed) combination is an
+// independent single-threaded simulation, fanned out over a bounded
+// worker pool. Results land as structured artifacts in the output
+// directory:
+//
+//	raw_runs.jsonl   one JSON record per run (streamed as runs finish)
+//	summary.json     per-point mean/p50/p95 aggregates across seeds
+//	provenance.json  git commit, Go version, seeds, wall time, speedup
+//
+// Usage:
+//
+//	dcqcn-sweep [-scenario name,glob*] [-parallel N] [-reruns N]
+//	            [-out dir] [-full] [-check-determinism] [-bench] [-list]
+//	            [-quiet]
+//
+// -check-determinism reruns every (point, seed) at least twice and fails
+// loudly unless engine digests and metrics are bit-identical — the gate
+// that catches map-iteration or shared-RNG nondeterminism. -bench times
+// the selected grid at -parallel 1 first and records the parallel
+// speedup in provenance.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dcqcn/internal/experiments"
+	"dcqcn/internal/harness"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "all", "comma-separated scenario names (prefix globs allowed, e.g. ablation-*)")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		reruns   = flag.Int("reruns", 1, "repetitions of every (point, seed) run")
+		out      = flag.String("out", "sweep-out", "artifact directory ('' disables artifacts)")
+		full     = flag.Bool("full", false, "high-fidelity runs (slow)")
+		checkDet = flag.Bool("check-determinism", false, "rerun each (point, seed) and fail on digest mismatch")
+		bench    = flag.Bool("bench", false, "also time the grid at -parallel 1 and record the speedup")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	fid := experiments.Quick()
+	fidName := "quick"
+	if *full {
+		fid = experiments.Full()
+		fidName = "full"
+	}
+	reg := harness.NewRegistry()
+	experiments.RegisterScenarios(reg, fid)
+
+	if *list {
+		for _, sc := range reg.All() {
+			fmt.Printf("%-18s %3d points x %d seeds  %s\n",
+				sc.Name, len(sc.Points), len(sc.Seeds), sc.Description)
+		}
+		return
+	}
+
+	scs, err := reg.Select(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	prov := harness.NewProvenance("dcqcn-sweep")
+	prov.Parallel = *parallel
+	prov.Reruns = *reruns
+	prov.Determinism = *checkDet
+	prov.Fidelity = fidName
+	prov.Describe(scs)
+
+	if *bench {
+		fmt.Fprintf(os.Stderr, "timing sequential baseline (-parallel 1)...\n")
+		seqCfg := harness.Config{Parallel: 1, Reruns: *reruns}
+		if *checkDet && seqCfg.Reruns < 2 {
+			seqCfg.Reruns = 2 // match the gate's forced rerun count
+		}
+		seq, err := harness.Sweep(scs, seqCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prov.SequentialWallMS = float64(seq.Wall) / float64(time.Millisecond)
+		fmt.Fprintf(os.Stderr, "sequential: %.1fs\n", seq.Wall.Seconds())
+	}
+
+	cfg := harness.Config{
+		Parallel:         *parallel,
+		Reruns:           *reruns,
+		CheckDeterminism: *checkDet,
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total int, rec harness.RunRecord) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s/%s seed=%d (%.0f ms)        ",
+				done, total, rec.Scenario, rec.Point, rec.Seed, rec.WallMS)
+		}
+	}
+	var rawFile *os.File
+	if *out != "" {
+		rawFile, err = harness.OpenRawWriter(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.RawWriter = rawFile
+	}
+
+	res, sweepErr := harness.Sweep(scs, cfg)
+	if rawFile != nil {
+		if err := rawFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if sweepErr != nil {
+		fmt.Fprintln(os.Stderr, sweepErr)
+		if res != nil {
+			for _, v := range res.DeterminismViolations {
+				fmt.Fprintf(os.Stderr, "  violation: %s\n", v)
+			}
+		}
+		os.Exit(1)
+	}
+
+	prov.Record(res)
+	if prov.SequentialWallMS > 0 && prov.WallMS > 0 {
+		prov.Speedup = prov.SequentialWallMS / prov.WallMS
+	}
+
+	for _, sc := range scs {
+		fmt.Printf("=== %s — %s\n%s\n", sc.Name, sc.Description, res.Table(sc.Name))
+	}
+	fmt.Printf("%d runs, %d simulated events, wall %.1fs\n",
+		len(res.Records), res.TotalEvents, res.Wall.Seconds())
+	if *checkDet {
+		fmt.Println("determinism gate: PASS (identical digests across reruns)")
+	}
+	if prov.Speedup > 0 {
+		fmt.Printf("speedup vs sequential: %.2fx (%.1fs -> %.1fs)\n",
+			prov.Speedup, prov.SequentialWallMS/1000, prov.WallMS/1000)
+	}
+
+	if *out != "" {
+		if err := harness.WriteArtifacts(*out, res, prov); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("artifacts: %s\n", filepath.Join(*out, "{"+harness.RawRunsFile+","+harness.SummaryFile+","+harness.ProvenanceFile+"}"))
+	}
+}

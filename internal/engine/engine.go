@@ -23,13 +23,14 @@ type Sim struct {
 	rng    *rand.Rand
 	seed   int64
 	events uint64
+	hash   uint64
 	halted bool
 }
 
 // New creates a simulator whose random source is seeded with seed.
 // Identical seeds (with identical models) produce identical runs.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed, hash: fnvOffset64}
 }
 
 // Now returns the current simulated time.
@@ -44,6 +45,41 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Events returns the number of events executed so far.
 func (s *Sim) Events() uint64 { return s.events }
+
+// FNV-1a 64-bit constants for the run digest.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Digest summarizes an execution: the number of events executed and an
+// FNV-1a hash over every executed event's (timestamp, ordinal) pair. Two
+// runs of the same model with the same seed must produce identical
+// digests; a mismatch means nondeterminism crept in (map iteration,
+// shared RNG, wall-clock leakage). The sweep harness uses this as its
+// determinism gate.
+type Digest struct {
+	Events uint64 `json:"events"`
+	Hash   uint64 `json:"hash"`
+}
+
+// String renders the digest as "events:hash".
+func (d Digest) String() string { return fmt.Sprintf("%d:%016x", d.Events, d.Hash) }
+
+// Digest returns the run digest accumulated so far.
+func (s *Sim) Digest() Digest { return Digest{Events: s.events, Hash: s.hash} }
+
+// mix folds one 64-bit word into the run digest, little-endian byte by
+// byte, exactly as hash/fnv would but without allocations on a hot path.
+func (s *Sim) mix(v uint64) {
+	h := s.hash
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	s.hash = h
+}
 
 // At schedules fn to run at absolute time t and returns a cancellable
 // handle. Scheduling in the past panics: it always indicates a model bug,
@@ -87,6 +123,8 @@ func (s *Sim) Run(until simtime.Time) uint64 {
 		e := s.queue.Pop()
 		s.now = e.At
 		s.events++
+		s.mix(uint64(e.At))
+		s.mix(s.events)
 		e.Fn()
 	}
 	// Advance the clock to the horizon so measurements made "at the end of
@@ -112,6 +150,8 @@ func (s *Sim) RunAll() uint64 {
 		}
 		s.now = e.At
 		s.events++
+		s.mix(uint64(e.At))
+		s.mix(s.events)
 		e.Fn()
 	}
 	return s.events - start
@@ -134,10 +174,12 @@ func (s *Sim) Ticker(period simtime.Duration, fn func(simtime.Time)) (stop func(
 		if stopped {
 			return
 		}
+		// Re-arm before invoking fn: the next tick is already queued while
+		// the callback runs (so nested Run loops keep ticking and Pending
+		// counts it), and stop() called from within fn cancels that
+		// freshly scheduled tick through the shared handle.
+		handle = s.After(period, tick)
 		fn(s.now)
-		if !stopped {
-			handle = s.After(period, tick)
-		}
 	}
 	handle = s.After(period, tick)
 	return func() {

@@ -110,6 +110,76 @@ func TestTicker(t *testing.T) {
 	}
 }
 
+// TestTickerStopFromWithinCallback pins the cancel-from-within-fn
+// contract: stop() issued inside the tick callback must also cancel the
+// next tick, which the ticker schedules before invoking the callback.
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	var stop func()
+	stop = s.Ticker(10, func(now simtime.Time) {
+		ticks++
+		if ticks == 3 {
+			if s.Pending() == 0 {
+				t.Fatal("next tick should be queued while the callback runs")
+			}
+			stop()
+			if s.Pending() != 0 {
+				t.Fatalf("stop from within fn left %d events queued", s.Pending())
+			}
+		}
+	})
+	s.Run(1000)
+	if ticks != 3 {
+		t.Fatalf("got %d ticks, want 3 (stopped from within the 3rd)", ticks)
+	}
+}
+
+// TestTickerStopIsIdempotent checks stop() can be called again (from
+// inside or outside a callback) without reviving or double-cancelling.
+func TestTickerStopIsIdempotent(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	stop := s.Ticker(10, func(simtime.Time) { ticks++ })
+	s.At(25, func() { stop(); stop() })
+	s.Run(1000)
+	if ticks != 2 {
+		t.Fatalf("got %d ticks, want 2", ticks)
+	}
+}
+
+// TestDigestReproducible checks the determinism gate itself: identical
+// runs produce identical digests, and perturbing the event schedule
+// changes the hash even when the event count is unchanged.
+func TestDigestReproducible(t *testing.T) {
+	run := func(shift simtime.Duration) Digest {
+		s := New(7)
+		for i := 0; i < 100; i++ {
+			d := simtime.Duration(i) * 3
+			if i == 50 {
+				d += shift
+			}
+			s.After(d, func() { _ = s.Rand().Int63() })
+		}
+		s.RunAll()
+		return s.Digest()
+	}
+	a, b := run(0), run(0)
+	if a != b {
+		t.Fatalf("identical runs diverged: %v vs %v", a, b)
+	}
+	if a.Events != 100 {
+		t.Fatalf("digest counted %d events, want 100", a.Events)
+	}
+	c := run(1)
+	if c.Events != a.Events {
+		t.Fatalf("perturbed run executed %d events, want %d", c.Events, a.Events)
+	}
+	if c.Hash == a.Hash {
+		t.Fatal("digest hash did not react to a schedule perturbation")
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() []int64 {
 		s := New(99)

@@ -40,13 +40,20 @@ func AblationTable(results []AblationResult, metrics ...string) string {
 // given parameters and NIC tweaks, returning mean |r1−r2| (Gb/s) and the
 // aggregate goodput (Gb/s) over the measured window.
 func twoFlowConvergence(params core.Params, fid Fidelity, tweak func(*topology.Options)) (diff, total float64) {
-	opts := options(ModeDCQCN, 9)
+	diff, total, _ = twoFlowConvergenceRun(params, 0, fid, tweak)
+	return diff, total
+}
+
+// twoFlowConvergenceRun is the seeded variant of twoFlowConvergence; run
+// 0 reproduces the historical seeds.
+func twoFlowConvergenceRun(params core.Params, run uint64, fid Fidelity, tweak func(*topology.Options)) (diff, total float64, dig engine.Digest) {
+	opts := options(ModeDCQCN, 9+run*7919)
 	opts.NIC.Controller = nic.DCQCNFactory(params)
 	opts.Switch.Marking = params
 	if tweak != nil {
 		tweak(&opts)
 	}
-	net := topology.NewStar(123, 3, opts)
+	net := topology.NewStar(123+int64(run)*104729, 3, opts)
 	open := openFlow(net)
 	f1, f2 := open("H1", "H3"), open("H2", "H3")
 	repostLoop(f1, 8*1000*1000, func(rocev2.Completion) {})
@@ -65,7 +72,7 @@ func twoFlowConvergence(params core.Params, fid Fidelity, tweak func(*topology.O
 	net.Sim.At(simtime.Time(warm), func() { base = f1.Stats().BytesSent + f2.Stats().BytesSent })
 	net.Sim.Run(simtime.Time(warm + fid.Duration))
 	sent := f1.Stats().BytesSent + f2.Stats().BytesSent - base
-	return gbps(stats.MeanAbsDiff(&r1, &r2)), gbps(float64(simtime.RateFromBytes(sent, fid.Duration)))
+	return gbps(stats.MeanAbsDiff(&r1, &r2)), gbps(float64(simtime.RateFromBytes(sent, fid.Duration))), net.Sim.Digest()
 }
 
 // AblationTimerVsByteCounter contrasts byte-counter-dominated recovery
@@ -99,37 +106,44 @@ func AblationTimerVsByteCounter(fid Fidelity) []AblationResult {
 func AblationG(fid Fidelity) []AblationResult {
 	var out []AblationResult
 	for _, g := range []float64{1.0 / 16, 1.0 / 256} {
-		p := core.DefaultParams()
-		p.G = g
-		opts := options(ModeDCQCN, 4)
-		opts.NIC.Controller = nic.DCQCNFactory(p)
-		opts.Switch.Marking = p
-		const degree = 16
-		net := topology.NewStar(55, degree+1, opts)
-		open := openFlow(net)
-		recv := fmt.Sprintf("H%d", degree+1)
-		for i := 1; i <= degree; i++ {
-			repostLoop(open(fmt.Sprintf("H%d", i), recv), 8*1000*1000, func(rocev2.Completion) {})
-		}
-		sw := net.Switch("SW")
-		var queue stats.Sample
-		warmEnd := simtime.Time(fid.Warmup)
-		net.Sim.Ticker(10*simtime.Microsecond, func(now simtime.Time) {
-			if now >= warmEnd {
-				queue.Add(float64(sw.EgressQueue(degree, packet.PrioData)))
-			}
-		})
-		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
-		out = append(out, AblationResult{
-			Label: fmt.Sprintf("g=1/%d", int(1/g)),
-			Metrics: map[string]float64{
-				"queue p50 (KB)": queue.Median() / 1000,
-				"queue p99 (KB)": queue.Percentile(99) / 1000,
-				"queue sd (KB)":  queue.Stddev() / 1000,
-			},
-		})
+		r, _ := ablationGRun(g, 0, fid)
+		out = append(out, r)
 	}
 	return out
+}
+
+// ablationGRun executes one seeded 16:1 incast run with the given alpha
+// gain g; run 0 reproduces the historical seeds.
+func ablationGRun(g float64, run uint64, fid Fidelity) (AblationResult, engine.Digest) {
+	p := core.DefaultParams()
+	p.G = g
+	opts := options(ModeDCQCN, 4+run*7919)
+	opts.NIC.Controller = nic.DCQCNFactory(p)
+	opts.Switch.Marking = p
+	const degree = 16
+	net := topology.NewStar(55+int64(run)*104729, degree+1, opts)
+	open := openFlow(net)
+	recv := fmt.Sprintf("H%d", degree+1)
+	for i := 1; i <= degree; i++ {
+		repostLoop(open(fmt.Sprintf("H%d", i), recv), 8*1000*1000, func(rocev2.Completion) {})
+	}
+	sw := net.Switch("SW")
+	var queue stats.Sample
+	warmEnd := simtime.Time(fid.Warmup)
+	net.Sim.Ticker(10*simtime.Microsecond, func(now simtime.Time) {
+		if now >= warmEnd {
+			queue.Add(float64(sw.EgressQueue(degree, packet.PrioData)))
+		}
+	})
+	net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+	return AblationResult{
+		Label: fmt.Sprintf("g=1/%d", int(1/g)),
+		Metrics: map[string]float64{
+			"queue p50 (KB)": queue.Median() / 1000,
+			"queue p99 (KB)": queue.Percentile(99) / 1000,
+			"queue sd (KB)":  queue.Stddev() / 1000,
+		},
+	}, net.Sim.Digest()
 }
 
 // AblationFastStart compares the FCT of a bursty short transfer under
@@ -199,35 +213,42 @@ func AblationCNPPriority(fid Fidelity) []AblationResult {
 func AblationRAI(fid Fidelity) []AblationResult {
 	var out []AblationResult
 	for _, rai := range []simtime.Rate{40 * simtime.Mbps, 20 * simtime.Mbps} {
-		p := core.DefaultParams()
-		p.RAI = rai
-		opts := options(ModeDCQCN, 6)
-		opts.NIC.Controller = nic.DCQCNFactory(p)
-		opts.Switch.Marking = p
-		const degree = 32
-		net := topology.NewStar(88, degree+1, opts)
-		open := openFlow(net)
-		recv := fmt.Sprintf("H%d", degree+1)
-		for i := 1; i <= degree; i++ {
-			repostLoop(open(fmt.Sprintf("H%d", i), recv), 8*1000*1000, func(rocev2.Completion) {})
-		}
-		sw := net.Switch("SW")
-		var queue stats.Sample
-		warmEnd := simtime.Time(fid.Warmup)
-		net.Sim.Ticker(10*simtime.Microsecond, func(now simtime.Time) {
-			if now >= warmEnd {
-				queue.Add(float64(sw.EgressQueue(degree, packet.PrioData)))
-			}
-		})
-		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
-		out = append(out, AblationResult{
-			Label: fmt.Sprintf("R_AI=%v", rai),
-			Metrics: map[string]float64{
-				"queue p50 (KB)": queue.Median() / 1000,
-				"queue p99 (KB)": queue.Percentile(99) / 1000,
-				"pauses":         float64(sw.PauseSentTotal()),
-			},
-		})
+		r, _ := ablationRAIRun(rai, 0, fid)
+		out = append(out, r)
 	}
 	return out
+}
+
+// ablationRAIRun executes one seeded 32:1 incast run with the given
+// R_AI; run 0 reproduces the historical seeds.
+func ablationRAIRun(rai simtime.Rate, run uint64, fid Fidelity) (AblationResult, engine.Digest) {
+	p := core.DefaultParams()
+	p.RAI = rai
+	opts := options(ModeDCQCN, 6+run*7919)
+	opts.NIC.Controller = nic.DCQCNFactory(p)
+	opts.Switch.Marking = p
+	const degree = 32
+	net := topology.NewStar(88+int64(run)*104729, degree+1, opts)
+	open := openFlow(net)
+	recv := fmt.Sprintf("H%d", degree+1)
+	for i := 1; i <= degree; i++ {
+		repostLoop(open(fmt.Sprintf("H%d", i), recv), 8*1000*1000, func(rocev2.Completion) {})
+	}
+	sw := net.Switch("SW")
+	var queue stats.Sample
+	warmEnd := simtime.Time(fid.Warmup)
+	net.Sim.Ticker(10*simtime.Microsecond, func(now simtime.Time) {
+		if now >= warmEnd {
+			queue.Add(float64(sw.EgressQueue(degree, packet.PrioData)))
+		}
+	})
+	net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+	return AblationResult{
+		Label: fmt.Sprintf("R_AI=%v", rai),
+		Metrics: map[string]float64{
+			"queue p50 (KB)": queue.Median() / 1000,
+			"queue p99 (KB)": queue.Percentile(99) / 1000,
+			"pauses":         float64(sw.PauseSentTotal()),
+		},
+	}, net.Sim.Digest()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dcqcn/internal/engine"
 	"dcqcn/internal/rocev2"
 	"dcqcn/internal/simtime"
 	"dcqcn/internal/stats"
@@ -62,81 +63,93 @@ type BenchmarkResult struct {
 // incast membership and ECMP seeds are re-rolled each run.
 func Benchmark(cfg BenchmarkConfig, fid Fidelity) BenchmarkResult {
 	res := BenchmarkResult{Config: cfg}
+	for run := 0; run < fid.Runs; run++ {
+		perRun, _ := BenchmarkRun(cfg, uint64(run), fid)
+		res.User.Merge(&perRun.User)
+		res.Incast.Merge(&perRun.Incast)
+		res.SpinePauses += perRun.SpinePauses
+		res.Drops += perRun.Drops
+	}
+	return res
+}
+
+// BenchmarkRun executes one seeded run of the §6.2 benchmark-traffic
+// experiment and returns its single-run result plus the engine digest.
+// Placement and workload randomness depend only on the run index, so
+// sweeps over degree or mode are paired comparisons.
+func BenchmarkRun(cfg BenchmarkConfig, run uint64, fid Fidelity) (BenchmarkResult, engine.Digest) {
+	res := BenchmarkResult{Config: cfg}
 	dist := workload.StorageTraceDist()
 	depth := cfg.IncastDepth
 	if depth < 1 {
 		depth = 1
 	}
-	for run := 0; run < fid.Runs; run++ {
-		// Placement and workload randomness depend only on the run index,
-		// so sweeps over degree or mode are paired comparisons.
-		net := topologyTestbed(cfg.Mode, uint64(run))
-		open := openFlow(net)
-		rng := rand.New(rand.NewSource(int64(run)*6151 + 17))
-		warmEnd := simtime.Time(fid.Warmup)
-		hosts := net.HostNames()
+	net := topologyTestbed(cfg.Mode, run)
+	open := openFlow(net)
+	rng := rand.New(rand.NewSource(int64(run)*6151 + 17))
+	warmEnd := simtime.Time(fid.Warmup)
+	hosts := net.HostNames()
 
-		// Incast: receiver and senders drawn without replacement; each
-		// sender pipelines depth rebuild reads.
-		perm := rng.Perm(len(hosts))
-		receiver := hosts[perm[0]]
-		type meter struct{ bytes, base int64 }
-		var meters []*meter
-		for i := 0; i < cfg.IncastDegree; i++ {
-			sender := hosts[perm[1+i%(len(hosts)-1)]]
-			flow := open(sender, receiver)
-			m := &meter{}
-			meters = append(meters, m)
-			var post func()
-			post = func() {
-				flow.PostMessage(cfg.IncastChunk, func(c rocev2.Completion) {
-					m.bytes += c.Size
-					post()
-				})
-			}
-			for d := 0; d < depth; d++ {
+	// Incast: receiver and senders drawn without replacement; each
+	// sender pipelines depth rebuild reads.
+	perm := rng.Perm(len(hosts))
+	receiver := hosts[perm[0]]
+	type meter struct{ bytes, base int64 }
+	var meters []*meter
+	for i := 0; i < cfg.IncastDegree; i++ {
+		sender := hosts[perm[1+i%(len(hosts)-1)]]
+		flow := open(sender, receiver)
+		m := &meter{}
+		meters = append(meters, m)
+		var post func()
+		post = func() {
+			flow.PostMessage(cfg.IncastChunk, func(c rocev2.Completion) {
+				m.bytes += c.Size
 				post()
-			}
+			})
 		}
-		net.Sim.At(warmEnd, func() {
-			for _, m := range meters {
-				m.base = m.bytes
-			}
-		})
-
-		// User traffic: closed-loop pairs. Each transfer runs on a fresh
-		// flow (new QP, new UDP source port), as the paper's request
-		// traffic does — over a million distinct flows in its trace —
-		// so every request re-rolls ECMP and starts at line rate.
-		for i := 0; i < cfg.Pairs; i++ {
-			src := hosts[rng.Intn(len(hosts))]
-			dst := src
-			for dst == src {
-				dst = hosts[rng.Intn(len(hosts))]
-			}
-			var post func()
-			post = func() {
-				flow := open(src, dst)
-				size := dist.Sample(rng)
-				flow.PostMessage(size, func(c rocev2.Completion) {
-					if net.Sim.Now() >= warmEnd && c.Size >= cfg.MinUserSample {
-						res.User.Add(float64(c.Throughput()))
-					}
-					flow.Close()
-					post()
-				})
-			}
+		for d := 0; d < depth; d++ {
 			post()
 		}
-
-		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
-		for _, m := range meters {
-			res.Incast.Add(float64(simtime.RateFromBytes(m.bytes-m.base, fid.Duration)))
-		}
-		res.SpinePauses += spinePauseCount(net)
-		res.Drops += totalDrops(net)
 	}
-	return res
+	net.Sim.At(warmEnd, func() {
+		for _, m := range meters {
+			m.base = m.bytes
+		}
+	})
+
+	// User traffic: closed-loop pairs. Each transfer runs on a fresh
+	// flow (new QP, new UDP source port), as the paper's request
+	// traffic does — over a million distinct flows in its trace —
+	// so every request re-rolls ECMP and starts at line rate.
+	for i := 0; i < cfg.Pairs; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := src
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		var post func()
+		post = func() {
+			flow := open(src, dst)
+			size := dist.Sample(rng)
+			flow.PostMessage(size, func(c rocev2.Completion) {
+				if net.Sim.Now() >= warmEnd && c.Size >= cfg.MinUserSample {
+					res.User.Add(float64(c.Throughput()))
+				}
+				flow.Close()
+				post()
+			})
+		}
+		post()
+	}
+
+	net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+	for _, m := range meters {
+		res.Incast.Add(float64(simtime.RateFromBytes(m.bytes-m.base, fid.Duration)))
+	}
+	res.SpinePauses = spinePauseCount(net)
+	res.Drops = totalDrops(net)
+	return res, net.Sim.Digest()
 }
 
 // Fig16Point is one x-position of Fig. 16: incast degree against user

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dcqcn/internal/core"
+	"dcqcn/internal/engine"
 	"dcqcn/internal/nic"
 	"dcqcn/internal/packet"
 	"dcqcn/internal/rocev2"
@@ -86,11 +87,19 @@ type Fig13Result struct {
 // at roughly half rate — the asymmetric initial condition the paper's
 // fluid analysis (40G vs 5G) studies.
 func Fig13(cfg Fig13Config, fid Fidelity) Fig13Result {
+	res, _ := Fig13Run(cfg, 0, fid)
+	return res
+}
+
+// Fig13Run is the seeded per-run variant of Fig13: run 0 reproduces the
+// historical seeds; other run indices re-roll the topology RNG and ECMP
+// placement, giving sweeps statistical weight.
+func Fig13Run(cfg Fig13Config, run uint64, fid Fidelity) (Fig13Result, engine.Digest) {
 	params := cfg.params()
-	opts := options(ModeDCQCN, 1)
+	opts := options(ModeDCQCN, 1+run*7919)
 	opts.NIC.Controller = nic.DCQCNFactory(params)
 	opts.Switch.Marking = params
-	net := topology.NewStar(int64(cfg)*31+5, 4, opts)
+	net := topology.NewStar(int64(cfg)*31+5+int64(run)*104729, 4, opts)
 	open := openFlow(net)
 
 	res := Fig13Result{Config: cfg}
@@ -128,7 +137,7 @@ func Fig13(cfg Fig13Config, fid Fidelity) Fig13Result {
 		sum.Add(a.V[i] + b.V[i])
 	}
 	res.SumStdev = gbps(sum.Stddev())
-	return res
+	return res, net.Sim.Digest()
 }
 
 // Fig13All runs all four configurations.
@@ -166,46 +175,54 @@ type IncastSummaryPoint struct {
 func IncastSummary(degrees []int, fid Fidelity) []IncastSummaryPoint {
 	var out []IncastSummaryPoint
 	for _, k := range degrees {
-		opts := options(ModeDCQCN, uint64(k))
-		net := topology.NewStar(int64(k)*13+3, k+1, opts)
-		open := openFlow(net)
-		recv := fmt.Sprintf("H%d", k+1)
-		var flows []*nic.Flow
-		for i := 1; i <= k; i++ {
-			f := open(fmt.Sprintf("H%d", i), recv)
-			repostLoop(f, 8*1000*1000, func(rocev2.Completion) {})
-			flows = append(flows, f)
-		}
-		// Sample the bottleneck egress queue (switch port toward recv).
-		sw := net.Switch("SW")
-		recvPort := k // hosts attach in order; H{k+1} is port k
-		var queue stats.Sample
-		var before int64
-		warmEnd := simtime.Time(fid.Warmup)
-		net.Sim.Ticker(10*simtime.Microsecond, func(now simtime.Time) {
-			if now >= warmEnd {
-				queue.Add(float64(sw.EgressQueue(recvPort, packet.PrioData)))
-			}
-		})
-		net.Sim.At(warmEnd, func() {
-			for _, f := range flows {
-				before += f.Stats().BytesSent
-			}
-		})
-		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
-		var after int64
-		for _, f := range flows {
-			after += f.Stats().BytesSent
-		}
-		total := simtime.RateFromBytes(after-before, fid.Duration)
-		out = append(out, IncastSummaryPoint{
-			K:          k,
-			TotalGbps:  gbps(float64(total)),
-			QueueP99KB: queue.Percentile(99) / 1000,
-			Drops:      totalDrops(net),
-		})
+		p, _ := IncastRun(k, 0, fid)
+		out = append(out, p)
 	}
 	return out
+}
+
+// IncastRun executes one seeded K:1 incast run on a single switch. Run 0
+// reproduces the historical seeds of IncastSummary; other run indices
+// re-roll the topology RNG and ECMP placement.
+func IncastRun(k int, run uint64, fid Fidelity) (IncastSummaryPoint, engine.Digest) {
+	opts := options(ModeDCQCN, uint64(k)+run*7919)
+	net := topology.NewStar(int64(k)*13+3+int64(run)*104729, k+1, opts)
+	open := openFlow(net)
+	recv := fmt.Sprintf("H%d", k+1)
+	var flows []*nic.Flow
+	for i := 1; i <= k; i++ {
+		f := open(fmt.Sprintf("H%d", i), recv)
+		repostLoop(f, 8*1000*1000, func(rocev2.Completion) {})
+		flows = append(flows, f)
+	}
+	// Sample the bottleneck egress queue (switch port toward recv).
+	sw := net.Switch("SW")
+	recvPort := k // hosts attach in order; H{k+1} is port k
+	var queue stats.Sample
+	var before int64
+	warmEnd := simtime.Time(fid.Warmup)
+	net.Sim.Ticker(10*simtime.Microsecond, func(now simtime.Time) {
+		if now >= warmEnd {
+			queue.Add(float64(sw.EgressQueue(recvPort, packet.PrioData)))
+		}
+	})
+	net.Sim.At(warmEnd, func() {
+		for _, f := range flows {
+			before += f.Stats().BytesSent
+		}
+	})
+	net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+	var after int64
+	for _, f := range flows {
+		after += f.Stats().BytesSent
+	}
+	total := simtime.RateFromBytes(after-before, fid.Duration)
+	return IncastSummaryPoint{
+		K:          k,
+		TotalGbps:  gbps(float64(total)),
+		QueueP99KB: queue.Percentile(99) / 1000,
+		Drops:      totalDrops(net),
+	}, net.Sim.Digest()
 }
 
 // IncastSummaryTable renders the sweep.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dcqcn/internal/engine"
 	"dcqcn/internal/rocev2"
 	"dcqcn/internal/simtime"
 	"dcqcn/internal/stats"
@@ -27,30 +28,38 @@ type RandomLossPoint struct {
 func RandomLoss(rates []float64, fid Fidelity) []RandomLossPoint {
 	var out []RandomLossPoint
 	for i, p := range rates {
-		opts := options(ModeDCQCN, 8)
-		// Faster RTO than the deployment default keeps the measurement
-		// window informative at high loss; the relative collapse is what
-		// matters. The 25 us links model a loaded multi-hop path (~100 us
-		// RTT), the regime where full-window retransmission bites.
-		opts.NIC.Transport.RTO = 2 * simtime.Millisecond
-		opts.HostLinkDelay = 25 * simtime.Microsecond
-		net := topology.NewStar(int64(i)*31+9, 2, opts)
-		net.SetLossRate(p)
-		open := openFlow(net)
-		flow := open("H1", "H2")
-		repostLoop(flow, 8*1000*1000, func(rocev2.Completion) {})
-		var base int64
-		net.Sim.At(simtime.Time(fid.Warmup), func() { base = flow.Stats().PayloadAcked })
-		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
-		goodput := simtime.RateFromBytes(flow.Stats().PayloadAcked-base, fid.Duration)
-		out = append(out, RandomLossPoint{
-			LossRate:    p,
-			GoodputGbps: gbps(float64(goodput)),
-			Retransmits: flow.Stats().Retransmits,
-			Timeouts:    flow.Stats().Timeouts,
-		})
+		point, _ := RandomLossRun(p, uint64(i), fid)
+		out = append(out, point)
 	}
 	return out
+}
+
+// RandomLossRun executes one seeded run of the §7 loss study at the
+// given per-frame loss probability. The run index re-rolls the loss and
+// topology RNG (RandomLoss historically used the rate's list index).
+func RandomLossRun(lossRate float64, run uint64, fid Fidelity) (RandomLossPoint, engine.Digest) {
+	opts := options(ModeDCQCN, 8)
+	// Faster RTO than the deployment default keeps the measurement
+	// window informative at high loss; the relative collapse is what
+	// matters. The 25 us links model a loaded multi-hop path (~100 us
+	// RTT), the regime where full-window retransmission bites.
+	opts.NIC.Transport.RTO = 2 * simtime.Millisecond
+	opts.HostLinkDelay = 25 * simtime.Microsecond
+	net := topology.NewStar(int64(run)*31+9, 2, opts)
+	net.SetLossRate(lossRate)
+	open := openFlow(net)
+	flow := open("H1", "H2")
+	repostLoop(flow, 8*1000*1000, func(rocev2.Completion) {})
+	var base int64
+	net.Sim.At(simtime.Time(fid.Warmup), func() { base = flow.Stats().PayloadAcked })
+	net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+	goodput := simtime.RateFromBytes(flow.Stats().PayloadAcked-base, fid.Duration)
+	return RandomLossPoint{
+		LossRate:    lossRate,
+		GoodputGbps: gbps(float64(goodput)),
+		Retransmits: flow.Stats().Retransmits,
+		Timeouts:    flow.Stats().Timeouts,
+	}, net.Sim.Digest()
 }
 
 // RandomLossTable renders the study.

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dcqcn/internal/harness"
+	"dcqcn/internal/simtime"
+)
+
+func testRegistry(t *testing.T, fid Fidelity) *harness.Registry {
+	t.Helper()
+	reg := harness.NewRegistry()
+	RegisterScenarios(reg, fid)
+	return reg
+}
+
+func TestRegisterScenarios(t *testing.T) {
+	reg := testRegistry(t, tiny())
+	want := []string{
+		"unfairness", "victimflow", "convergence-fig13", "incast",
+		"benchmark-fig16", "fig18", "ablation-g", "ablation-rai",
+		"ablation-timer", "ablation-cnp", "randomloss",
+	}
+	got := reg.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d scenarios %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scenario %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, sc := range reg.All() {
+		if sc.Description == "" {
+			t.Errorf("scenario %q has no description", sc.Name)
+		}
+		if len(sc.Seeds) != tiny().Runs {
+			t.Errorf("scenario %q has %d seeds, want %d", sc.Name, len(sc.Seeds), tiny().Runs)
+		}
+	}
+}
+
+// TestScenarioDeterminism is the regression gate the harness exists to
+// keep honest: one representative scenario (the full Fig. 2 testbed,
+// both modes) swept twice sequentially and once with 4 workers must
+// produce identical engine digests and identical metric values, record
+// for record.
+func TestScenarioDeterminism(t *testing.T) {
+	fid := Fidelity{Duration: 5 * simtime.Millisecond, Warmup: 2 * simtime.Millisecond, Runs: 1}
+	reg := testRegistry(t, fid)
+	scs, err := reg.Select("unfairness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func(parallel int) *harness.SweepResult {
+		res, err := harness.Sweep(scs, harness.Config{Parallel: parallel})
+		if err != nil {
+			t.Fatalf("sweep at parallel=%d: %v", parallel, err)
+		}
+		return res
+	}
+	first, again, parallel4 := sweep(1), sweep(1), sweep(4)
+
+	compare := func(label string, other *harness.SweepResult) {
+		t.Helper()
+		if len(other.Records) != len(first.Records) {
+			t.Fatalf("%s: %d records vs %d", label, len(other.Records), len(first.Records))
+		}
+		for i := range first.Records {
+			a, b := first.Records[i], other.Records[i]
+			if a.Digest != b.Digest {
+				t.Fatalf("%s: %s/%s seed=%d digest %s vs %s — nondeterminism",
+					label, a.Scenario, a.Point, a.Seed, a.Digest, b.Digest)
+			}
+			aj, _ := json.Marshal(a.Metrics)
+			bj, _ := json.Marshal(b.Metrics)
+			if !bytes.Equal(aj, bj) {
+				t.Fatalf("%s: %s/%s seed=%d metrics differ:\n%s\nvs\n%s",
+					label, a.Scenario, a.Point, a.Seed, aj, bj)
+			}
+		}
+	}
+	compare("rerun", again)
+	compare("parallel=4", parallel4)
+
+	// Sanity: the runs did real work and produced non-empty metrics.
+	if first.Records[0].Events == 0 {
+		t.Fatal("representative run executed no events")
+	}
+	if len(first.Records[0].Metrics) == 0 {
+		t.Fatal("representative run produced no metrics")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dcqcn/internal/engine"
 	"dcqcn/internal/rocev2"
 	"dcqcn/internal/simtime"
 	"dcqcn/internal/stats"
@@ -26,27 +27,15 @@ type UnfairnessResult struct {
 // With PFC alone, T4 pauses all its inputs equally, so H4 — alone on its
 // port — wins; DCQCN restores per-flow fairness.
 func Unfairness(mode Mode, fid Fidelity) UnfairnessResult {
-	hosts := []string{"H11", "H21", "H31", "H42"} // H1..H4 of the paper
-	const receiver = "H41"
-	samples := make([]*stats.Sample, len(hosts))
+	samples := make([]*stats.Sample, 4)
 	for i := range samples {
 		samples[i] = &stats.Sample{}
 	}
-
 	for run := 0; run < fid.Runs; run++ {
-		net := topologyTestbed(mode, uint64(run))
-		open := openFlow(net)
-		warmEnd := simtime.Time(fid.Warmup)
-		for i, h := range hosts {
-			i := i
-			flow := open(h, receiver)
-			repostLoop(flow, 4*1000*1000, func(c rocev2.Completion) {
-				if net.Sim.Now() >= warmEnd {
-					samples[i].Add(float64(c.Throughput()))
-				}
-			})
+		perRun, _ := UnfairnessRun(mode, uint64(run), fid)
+		for i := range samples {
+			samples[i].Merge(perRun[i])
 		}
-		net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
 	}
 
 	res := UnfairnessResult{Mode: mode, Hosts: []string{"H1", "H2", "H3", "H4"}}
@@ -56,6 +45,33 @@ func Unfairness(mode Mode, fid Fidelity) UnfairnessResult {
 		res.Max = append(res.Max, gbps(s.Max()))
 	}
 	return res
+}
+
+// UnfairnessRun executes one seeded run of the parking-lot experiment,
+// returning per-host (H1..H4) per-transfer throughput samples in bits/s
+// and the engine digest of the run — the per-run unit the sweep harness
+// schedules.
+func UnfairnessRun(mode Mode, run uint64, fid Fidelity) ([]*stats.Sample, engine.Digest) {
+	hosts := []string{"H11", "H21", "H31", "H42"} // H1..H4 of the paper
+	const receiver = "H41"
+	samples := make([]*stats.Sample, len(hosts))
+	for i := range samples {
+		samples[i] = &stats.Sample{}
+	}
+	net := topologyTestbed(mode, run)
+	open := openFlow(net)
+	warmEnd := simtime.Time(fid.Warmup)
+	for i, h := range hosts {
+		i := i
+		flow := open(h, receiver)
+		repostLoop(flow, 4*1000*1000, func(c rocev2.Completion) {
+			if net.Sim.Now() >= warmEnd {
+				samples[i].Add(float64(c.Throughput()))
+			}
+		})
+	}
+	net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+	return samples, net.Sim.Digest()
 }
 
 // topologyTestbed builds the Fig. 2 testbed for a mode and run index;
@@ -109,31 +125,42 @@ func VictimFlow(mode Mode, sendersUnderT3 []int, fid Fidelity) VictimFlowResult 
 	for _, extra := range sendersUnderT3 {
 		victim := &stats.Sample{}
 		for run := 0; run < fid.Runs; run++ {
-			net := topologyTestbed(mode, uint64(extra*100+run))
-			open := openFlow(net)
-			warmEnd := simtime.Time(fid.Warmup)
-			// Incast: H11..H14 -> R(H41). The transfers are large (long
-			// disk-rebuild reads) so uncontrolled senders keep enough
-			// data standing in the fabric for PAUSE to cascade.
-			for _, h := range []string{"H11", "H12", "H13", "H14"} {
-				repostLoop(open(h, "H41"), 64*1000*1000, func(rocev2.Completion) {})
-			}
-			// Extra senders under T3 -> R.
-			for i := 0; i < extra; i++ {
-				h := fmt.Sprintf("H3%d", i+1)
-				repostLoop(open(h, "H41"), 64*1000*1000, func(rocev2.Completion) {})
-			}
-			// Victim: VS(H15, under T1) -> VR(H25, under T2).
-			repostLoop(open("H15", "H25"), 2*1000*1000, func(c rocev2.Completion) {
-				if net.Sim.Now() >= warmEnd {
-					victim.Add(float64(c.Throughput()))
-				}
-			})
-			net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+			perRun, _ := VictimFlowRun(mode, extra, uint64(extra*100+run), fid)
+			victim.Merge(perRun)
 		}
 		res.VictimMed = append(res.VictimMed, gbps(victim.Median()))
 	}
 	return res
+}
+
+// VictimFlowRun executes one seeded run of the congestion-spreading
+// experiment with the given number of extra senders under T3, returning
+// the victim flow's per-transfer throughput samples (bits/s) and the
+// engine digest.
+func VictimFlowRun(mode Mode, extra int, run uint64, fid Fidelity) (*stats.Sample, engine.Digest) {
+	victim := &stats.Sample{}
+	net := topologyTestbed(mode, run)
+	open := openFlow(net)
+	warmEnd := simtime.Time(fid.Warmup)
+	// Incast: H11..H14 -> R(H41). The transfers are large (long
+	// disk-rebuild reads) so uncontrolled senders keep enough
+	// data standing in the fabric for PAUSE to cascade.
+	for _, h := range []string{"H11", "H12", "H13", "H14"} {
+		repostLoop(open(h, "H41"), 64*1000*1000, func(rocev2.Completion) {})
+	}
+	// Extra senders under T3 -> R.
+	for i := 0; i < extra; i++ {
+		h := fmt.Sprintf("H3%d", i+1)
+		repostLoop(open(h, "H41"), 64*1000*1000, func(rocev2.Completion) {})
+	}
+	// Victim: VS(H15, under T1) -> VR(H25, under T2).
+	repostLoop(open("H15", "H25"), 2*1000*1000, func(c rocev2.Completion) {
+		if net.Sim.Now() >= warmEnd {
+			victim.Add(float64(c.Throughput()))
+		}
+	})
+	net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+	return victim, net.Sim.Digest()
 }
 
 // Table renders the victim-flow result.

@@ -1,0 +1,190 @@
+// Package harness turns the repository's experiment suite into a
+// machine-driven sweep: a registry of named scenarios (parameter grid x
+// seed list), a parallel orchestrator that fans independent runs out
+// over a bounded worker pool, structured artifacts (raw_runs.jsonl,
+// summary.json, provenance.json), and a determinism gate built on the
+// engine's run digest.
+//
+// The simulation kernel stays strictly single-threaded: parallelism
+// comes from running many independent engine.Sim instances, one per
+// in-flight run, never from threading one simulation. That is why the
+// determinism gate is sound — identical (scenario, point, seed) runs
+// must produce bit-identical engine digests no matter which worker
+// executed them or in what order.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcqcn/internal/engine"
+)
+
+// Metrics is a run's machine-readable output: named scalar results
+// (throughputs in Gb/s, queue percentiles in KB, counts). Values must be
+// finite; the orchestrator drops NaN/Inf entries rather than corrupting
+// aggregation and JSON artifacts.
+type Metrics map[string]float64
+
+// Point is one cell of a scenario's parameter grid: a stable label for
+// tables and artifact keys, plus the machine-readable parameter values
+// that produced it.
+type Point struct {
+	Label  string             `json:"label"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// RunContext identifies one run of the sweep: which scenario, which grid
+// point, which seed, and which rerun of that seed.
+type RunContext struct {
+	Scenario string
+	Point    Point
+	PointIdx int
+	Seed     int64
+	Rerun    int
+}
+
+// RunResult is what a scenario run returns: its metrics and the engine
+// digest of the simulation that produced them. Runs that build several
+// simulator instances should combine digests with CombineDigests.
+type RunResult struct {
+	Metrics Metrics
+	Digest  engine.Digest
+}
+
+// Scenario is a registered experiment: a parameter grid, a seed list,
+// and a per-run function. Run must be self-contained and safe to call
+// concurrently with itself — each call builds its own engine.Sim (and
+// everything hanging off it) from the seed; no shared mutable state.
+type Scenario struct {
+	Name        string
+	Description string
+	Points      []Point
+	Seeds       []int64
+	Run         func(rc RunContext) RunResult
+}
+
+// runs returns the number of runs one sweep pass of the scenario costs.
+func (s Scenario) runs() int { return len(s.Points) * len(s.Seeds) }
+
+// Runs builds the canonical seed list 0..n-1. Experiment code derives
+// its topology and ECMP seeds from this run index, exactly as the
+// pre-harness sequential loops did.
+func Runs(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// CombineDigests folds several engine digests into one, for runs that
+// drive more than one simulator instance (paired comparisons, helper
+// networks). Order matters, as it does for the execution itself.
+func CombineDigests(ds ...engine.Digest) engine.Digest {
+	var out engine.Digest
+	h := uint64(14695981039346656037)
+	for _, d := range ds {
+		out.Events += d.Events
+		for _, v := range []uint64{d.Events, d.Hash} {
+			for i := 0; i < 8; i++ {
+				h ^= v & 0xff
+				h *= 1099511628211
+				v >>= 8
+			}
+		}
+	}
+	out.Hash = h
+	return out
+}
+
+// Registry is an ordered collection of scenarios. Registration order is
+// preserved so sweeps and listings are stable.
+type Registry struct {
+	names  []string
+	byName map[string]Scenario
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Scenario)}
+}
+
+// Register adds a scenario. Invalid scenarios (empty name, no points, no
+// seeds, nil run, duplicate name) panic: they are programming errors in
+// the registration code, not runtime conditions.
+func (r *Registry) Register(s Scenario) {
+	switch {
+	case s.Name == "":
+		panic("harness: scenario with empty name")
+	case len(s.Points) == 0:
+		panic(fmt.Sprintf("harness: scenario %q has no points", s.Name))
+	case len(s.Seeds) == 0:
+		panic(fmt.Sprintf("harness: scenario %q has no seeds", s.Name))
+	case s.Run == nil:
+		panic(fmt.Sprintf("harness: scenario %q has no run function", s.Name))
+	}
+	if _, dup := r.byName[s.Name]; dup {
+		panic(fmt.Sprintf("harness: duplicate scenario %q", s.Name))
+	}
+	r.names = append(r.names, s.Name)
+	r.byName[s.Name] = s
+}
+
+// Names returns the registered scenario names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Get returns a scenario by name.
+func (r *Registry) Get(name string) (Scenario, bool) {
+	s, ok := r.byName[name]
+	return s, ok
+}
+
+// All returns every scenario in registration order.
+func (r *Registry) All() []Scenario {
+	out := make([]Scenario, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// Select resolves a comma-separated selection into scenarios. Each term
+// is an exact name or a prefix glob ("ablation-*"); an empty selection
+// or "all" selects everything. Unknown terms are an error, listing what
+// is available.
+func (r *Registry) Select(selection string) ([]Scenario, error) {
+	selection = strings.TrimSpace(selection)
+	if selection == "" || selection == "all" {
+		return r.All(), nil
+	}
+	seen := make(map[string]bool)
+	var out []Scenario
+	for _, term := range strings.Split(selection, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		matched := false
+		for _, name := range r.names {
+			if name == term || (strings.HasSuffix(term, "*") && strings.HasPrefix(name, strings.TrimSuffix(term, "*"))) {
+				matched = true
+				if !seen[name] {
+					seen[name] = true
+					out = append(out, r.byName[name])
+				}
+			}
+		}
+		if !matched {
+			avail := r.Names()
+			sort.Strings(avail)
+			return nil, fmt.Errorf("unknown scenario %q (available: %s)", term, strings.Join(avail, ", "))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,357 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dcqcn/internal/stats"
+)
+
+// Config controls one sweep.
+type Config struct {
+	// Parallel is the worker-pool size; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Reruns repeats every (point, seed) run this many times; <= 0 means
+	// once. Reruns of the same seed must be bit-identical — they exist to
+	// feed the determinism gate and to measure harness overhead, not to
+	// add statistical weight (use more seeds for that).
+	Reruns int
+	// CheckDeterminism forces Reruns >= 2 and fails the sweep when any
+	// (scenario, point, seed) group disagrees on its engine digest or
+	// metric values.
+	CheckDeterminism bool
+	// RawWriter, when non-nil, receives one JSON line per completed run
+	// in completion order (raw_runs.jsonl).
+	RawWriter io.Writer
+	// Progress, when non-nil, is called after each run completes with
+	// (done, total). Called from the writer goroutine, never concurrently
+	// with itself.
+	Progress func(done, total int, rec RunRecord)
+}
+
+// RunRecord is one line of raw_runs.jsonl: the full identity and output
+// of a single simulation run.
+type RunRecord struct {
+	Scenario string             `json:"scenario"`
+	Point    string             `json:"point"`
+	Params   map[string]float64 `json:"params,omitempty"`
+	Seed     int64              `json:"seed"`
+	Rerun    int                `json:"rerun"`
+	Events   uint64             `json:"events"`
+	Digest   string             `json:"digest"`
+	WallMS   float64            `json:"wall_ms"`
+	Metrics  Metrics            `json:"metrics"`
+}
+
+// MetricSummary aggregates one metric over a point's runs.
+type MetricSummary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Stddev float64 `json:"stddev"`
+}
+
+// PointSummary aggregates all runs of one grid point.
+type PointSummary struct {
+	Scenario string                   `json:"scenario"`
+	Point    string                   `json:"point"`
+	Params   map[string]float64       `json:"params,omitempty"`
+	Runs     int                      `json:"runs"`
+	Metrics  map[string]MetricSummary `json:"metrics"`
+}
+
+// SweepResult is the outcome of a sweep.
+type SweepResult struct {
+	// Records in deterministic (scenario, point, seed, rerun) order,
+	// regardless of which worker finished first.
+	Records []RunRecord
+	// Summaries per grid point, in the same deterministic order.
+	Summaries []PointSummary
+	// Wall is the orchestration wall-clock time.
+	Wall time.Duration
+	// DeterminismViolations lists every (scenario, point, seed) group
+	// whose reruns disagreed. Empty means the gate passed (or no group
+	// had two runs to compare).
+	DeterminismViolations []string
+	// TotalEvents sums executed simulator events over all runs.
+	TotalEvents uint64
+}
+
+// Sweep expands every scenario's grid x seed list x reruns into
+// independent tasks and executes them on a bounded worker pool. Each
+// task runs a fresh single-threaded simulation; records are streamed to
+// cfg.RawWriter as they complete and returned in deterministic order.
+func Sweep(scenarios []Scenario, cfg Config) (*SweepResult, error) {
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	reruns := cfg.Reruns
+	if reruns <= 0 {
+		reruns = 1
+	}
+	if cfg.CheckDeterminism && reruns < 2 {
+		reruns = 2
+	}
+
+	type task struct {
+		idx int
+		sc  Scenario
+		rc  RunContext
+	}
+	var tasks []task
+	for _, sc := range scenarios {
+		for pi, p := range sc.Points {
+			for _, seed := range sc.Seeds {
+				for rr := 0; rr < reruns; rr++ {
+					tasks = append(tasks, task{
+						idx: len(tasks),
+						sc:  sc,
+						rc:  RunContext{Scenario: sc.Name, Point: p, PointIdx: pi, Seed: seed, Rerun: rr},
+					})
+				}
+			}
+		}
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("harness: nothing to run (no scenarios selected)")
+	}
+
+	records := make([]RunRecord, len(tasks))
+	taskCh := make(chan task)
+	recCh := make(chan RunRecord, parallel)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				t0 := time.Now()
+				res := t.sc.Run(t.rc)
+				rec := RunRecord{
+					Scenario: t.rc.Scenario,
+					Point:    t.rc.Point.Label,
+					Params:   t.rc.Point.Params,
+					Seed:     t.rc.Seed,
+					Rerun:    t.rc.Rerun,
+					Events:   res.Digest.Events,
+					Digest:   res.Digest.String(),
+					WallMS:   float64(time.Since(t0)) / float64(time.Millisecond),
+					Metrics:  finiteMetrics(res.Metrics),
+				}
+				records[t.idx] = rec
+				recCh <- rec
+			}
+		}()
+	}
+	go func() {
+		for _, t := range tasks {
+			taskCh <- t
+		}
+		close(taskCh)
+	}()
+
+	// Single writer/progress goroutine: streams records in completion
+	// order and is the only place that touches RawWriter.
+	writeErr := make(chan error, 1)
+	go func() {
+		var enc *json.Encoder
+		if cfg.RawWriter != nil {
+			enc = json.NewEncoder(cfg.RawWriter)
+		}
+		var err error
+		done := 0
+		for rec := range recCh {
+			done++
+			if enc != nil && err == nil {
+				err = enc.Encode(rec)
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(done, len(tasks), rec)
+			}
+		}
+		writeErr <- err
+	}()
+
+	wg.Wait()
+	close(recCh)
+	if err := <-writeErr; err != nil {
+		return nil, fmt.Errorf("harness: writing raw records: %w", err)
+	}
+
+	res := &SweepResult{Records: records, Wall: time.Since(start)}
+	for _, r := range records {
+		res.TotalEvents += r.Events
+	}
+	res.DeterminismViolations = determinismViolations(records)
+	if cfg.CheckDeterminism && len(res.DeterminismViolations) > 0 {
+		// The result still carries the evidence; the error makes the gate
+		// loud for callers that don't inspect it.
+		return res, fmt.Errorf("harness: determinism gate failed for %d group(s): %s",
+			len(res.DeterminismViolations), res.DeterminismViolations[0])
+	}
+	res.Summaries = summarize(records)
+	return res, nil
+}
+
+// finiteMetrics copies m, dropping NaN and Inf values that would poison
+// aggregation and are not representable in JSON.
+func finiteMetrics(m Metrics) Metrics {
+	out := make(Metrics, len(m))
+	for k, v := range m {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// determinismViolations groups records by (scenario, point, seed) and
+// reports every group whose reruns disagree on digest or metrics.
+func determinismViolations(records []RunRecord) []string {
+	type key struct {
+		scenario, point string
+		seed            int64
+	}
+	first := make(map[key]RunRecord)
+	seen := make(map[key]bool)
+	var out []string
+	for _, r := range records {
+		k := key{r.Scenario, r.Point, r.Seed}
+		base, ok := first[k]
+		if !ok {
+			first[k] = r
+			continue
+		}
+		if diff := recordDiff(base, r); diff != "" && !seen[k] {
+			seen[k] = true
+			out = append(out, fmt.Sprintf("%s/%s seed=%d: %s", r.Scenario, r.Point, r.Seed, diff))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recordDiff explains how two reruns of the same (scenario, point, seed)
+// differ, or returns "" when they are identical.
+func recordDiff(a, b RunRecord) string {
+	if a.Digest != b.Digest {
+		return fmt.Sprintf("engine digest %s vs %s", a.Digest, b.Digest)
+	}
+	if len(a.Metrics) != len(b.Metrics) {
+		return fmt.Sprintf("metric sets differ (%d vs %d entries)", len(a.Metrics), len(b.Metrics))
+	}
+	for k, va := range a.Metrics {
+		vb, ok := b.Metrics[k]
+		if !ok {
+			return fmt.Sprintf("metric %q missing in rerun", k)
+		}
+		if va != vb {
+			return fmt.Sprintf("metric %q: %v vs %v", k, va, vb)
+		}
+	}
+	return ""
+}
+
+// summarize aggregates records per (scenario, point), preserving first-
+// appearance order, which is the deterministic task-expansion order.
+func summarize(records []RunRecord) []PointSummary {
+	type key struct{ scenario, point string }
+	index := make(map[key]int)
+	var out []PointSummary
+	samples := make(map[key]map[string]*stats.Sample)
+	for _, r := range records {
+		k := key{r.Scenario, r.Point}
+		if _, ok := index[k]; !ok {
+			index[k] = len(out)
+			out = append(out, PointSummary{
+				Scenario: r.Scenario,
+				Point:    r.Point,
+				Params:   r.Params,
+				Metrics:  make(map[string]MetricSummary),
+			})
+			samples[k] = make(map[string]*stats.Sample)
+		}
+		out[index[k]].Runs++
+		for m, v := range r.Metrics {
+			s := samples[k][m]
+			if s == nil {
+				s = &stats.Sample{}
+				samples[k][m] = s
+			}
+			s.Add(v)
+		}
+	}
+	for k, i := range index {
+		for m, s := range samples[k] {
+			out[i].Metrics[m] = MetricSummary{
+				N:      s.N(),
+				Mean:   s.Mean(),
+				P50:    s.Median(),
+				P95:    s.Percentile(95),
+				Min:    s.Min(),
+				Max:    s.Max(),
+				Stddev: s.Stddev(),
+			}
+		}
+	}
+	return out
+}
+
+// MetricNames returns the sorted union of metric names across a
+// scenario's summaries.
+func (r *SweepResult) MetricNames(scenario string) []string {
+	set := make(map[string]bool)
+	for _, s := range r.Summaries {
+		if s.Scenario != scenario {
+			continue
+		}
+		for m := range s.Metrics {
+			set[m] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table renders one scenario's point summaries as an aligned text table:
+// one row per grid point, one column per metric (mean, with +-stddev
+// when more than one run contributed).
+func (r *SweepResult) Table(scenario string) string {
+	metrics := r.MetricNames(scenario)
+	t := stats.Table{Header: append([]string{"point", "runs"}, metrics...)}
+	for _, s := range r.Summaries {
+		if s.Scenario != scenario {
+			continue
+		}
+		row := []string{s.Point, fmt.Sprintf("%d", s.Runs)}
+		for _, m := range metrics {
+			ms, ok := s.Metrics[m]
+			switch {
+			case !ok || ms.N == 0:
+				row = append(row, "-")
+			case ms.N > 1 && ms.Stddev > 0:
+				row = append(row, fmt.Sprintf("%.3f ±%.2f", ms.Mean, ms.Stddev))
+			default:
+				row = append(row, fmt.Sprintf("%.3f", ms.Mean))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

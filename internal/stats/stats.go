@@ -29,6 +29,13 @@ func (s *Sample) AddAll(vs ...float64) {
 	s.sorted = false
 }
 
+// Merge adds all of o's observations into s. The sweep harness uses it
+// to pool per-run samples into cross-seed aggregates.
+func (s *Sample) Merge(o *Sample) {
+	s.xs = append(s.xs, o.xs...)
+	s.sorted = false
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
