@@ -1,21 +1,30 @@
 # Developer entry points. `make check` is the pre-PR gate: formatting,
-# vet, a full build, and the test suite under the race detector. The
-# sweep smoke target exercises the parallel harness end to end (all
-# scenarios in short mode, determinism gate on) and leaves its artifacts
-# in sweep-out/.
+# vet, the determinism-contract linters, a full build, and the test
+# suite under the race detector. The sweep smoke target exercises the
+# parallel harness end to end (all scenarios in short mode, determinism
+# gate on) and leaves its artifacts in sweep-out/.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench sweep-smoke sweep clean
+# Package list shared by vet and lint, so the two gates always cover the
+# same code (testdata fixtures are excluded by pattern expansion).
+PKGS ?= ./...
 
-check: fmt vet build race
+.PHONY: check fmt vet lint build test race bench sweep-smoke sweep clean
+
+check: fmt vet lint build race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet $(PKGS)
+
+# Determinism-contract static analysis (internal/lint): walltime,
+# globalrand, maporder, floateq, simtime. Suppressions live in lint.json.
+lint:
+	$(GO) run ./cmd/dcqcn-lint $(PKGS)
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,146 @@
+// Command dcqcn-lint is the determinism-contract multichecker: it runs
+// the internal/lint analyzers (walltime, globalrand, maporder, floateq,
+// simtime) over the requested packages and exits non-zero on findings.
+// `make lint` wires it into `make check`, so contract violations fail
+// before any simulation runs.
+//
+// Usage:
+//
+//	dcqcn-lint [-json] [-config file] [-analyzers a,b] [packages...]
+//
+// Packages default to ./... . The optional config file holds
+// per-package suppressions with recorded reasons:
+//
+//	{"suppressions": [
+//	  {"analyzer": "floateq", "package": "dcqcn/internal/foo",
+//	   "reason": "compares quantized values produced by the same expression"}
+//	]}
+//
+// Exit status: 0 clean, 1 findings, 2 usage or analysis failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcqcn/internal/lint"
+	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dcqcn-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	configPath := fs.String("config", "", "suppression config file (JSON); default: lint.json beside go.mod if present")
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dcqcn-lint [flags] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(fs.Output(), "  %-11s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+		return 2
+	}
+
+	cfg, err := loadConfig(*configPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+		return 2
+	}
+
+	findings, err := lint.Run(pkgs, analyzers, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "dcqcn-lint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -analyzers flag against the registry.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	all := lint.All()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// loadConfig reads the suppression config: the explicit -config path if
+// given (must exist), otherwise lint.json in the current directory if
+// present, otherwise none.
+func loadConfig(path string) (*lint.Config, error) {
+	if path != "" {
+		return lint.LoadConfig(path)
+	}
+	if _, err := os.Stat("lint.json"); err == nil {
+		return lint.LoadConfig("lint.json")
+	}
+	return nil, nil
+}

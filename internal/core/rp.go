@@ -1,6 +1,10 @@
 package core
 
-import "dcqcn/internal/simtime"
+import (
+	"math"
+
+	"dcqcn/internal/simtime"
+)
 
 // RPStats counts reaction-point activity for experiment reports.
 type RPStats struct {
@@ -216,7 +220,10 @@ func (r *RP) setRC(rate simtime.Rate) {
 	if rate > r.params.LineRate {
 		rate = r.params.LineRate
 	}
-	if rate == r.rc {
+	// Bit-identical rate means nothing changed: skip the notification.
+	// Spelled as a bit comparison (not float ==) because the intent is
+	// exactly "same stored representation", not numeric closeness.
+	if math.Float64bits(float64(rate)) == math.Float64bits(float64(r.rc)) {
 		return
 	}
 	r.rc = rate

@@ -43,6 +43,18 @@ func (s *Sim) Seed() int64 { return s.seed }
 // come from here so runs stay reproducible.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
+// NewStream returns an additional deterministic random source for
+// auxiliary randomness — workload sizes, placement, ECMP re-rolls —
+// that must not perturb the primary stream (drawing from Rand() shifts
+// every later draw, so interleaving auxiliary and model draws couples
+// them). The stream is a pure function of the argument, independent of
+// the simulator's own seed; pass a run-derived value. Together with New
+// this is the only place the determinism contract permits constructing
+// a rand source (see internal/lint).
+func (s *Sim) NewStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
 // Events returns the number of events executed so far.
 func (s *Sim) Events() uint64 { return s.events }
 

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dcqcn/internal/engine"
 	"dcqcn/internal/rocev2"
@@ -86,7 +85,13 @@ func BenchmarkRun(cfg BenchmarkConfig, run uint64, fid Fidelity) (BenchmarkResul
 	}
 	net := topologyTestbed(cfg.Mode, run)
 	open := openFlow(net)
-	rng := rand.New(rand.NewSource(int64(run)*6151 + 17))
+	// Placement and workload randomness come from a dedicated engine
+	// stream (determinism contract: no private rand.New sources outside
+	// the engine), separate from the model's primary source so transfer
+	// sizes drawn mid-run do not perturb model draws. The stream seed
+	// depends only on the run index, never the mode, so mode sweeps stay
+	// paired comparisons.
+	rng := net.Sim.NewStream(int64(run)*6151 + 17)
 	warmEnd := simtime.Time(fid.Warmup)
 	hosts := net.HostNames()
 

@@ -306,7 +306,7 @@ func RegisterScenarios(reg *harness.Registry, fid Fidelity) {
 			Points:      points,
 			Seeds:       seeds,
 			Run: func(rc harness.RunContext) harness.RunResult {
-				onData := rc.Point.Params["data_class"] != 0
+				onData := int(rc.Point.Params["data_class"]) != 0
 				diff, total, dig := twoFlowConvergenceRun(core.DefaultParams(), uint64(rc.Seed), fid,
 					func(o *topology.Options) {
 						if onData {

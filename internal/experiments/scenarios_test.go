@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"strings"
 	"testing"
 
 	"dcqcn/internal/harness"
@@ -91,5 +93,72 @@ func TestScenarioDeterminism(t *testing.T) {
 	}
 	if len(first.Records[0].Metrics) == 0 {
 		t.Fatal("representative run produced no metrics")
+	}
+}
+
+// goldenFid is pinned independently of tiny() so unrelated test-speed
+// tweaks elsewhere cannot silently invalidate the golden table below.
+func goldenFid() Fidelity {
+	return Fidelity{Duration: 3 * simtime.Millisecond, Warmup: 1 * simtime.Millisecond, Runs: 1}
+}
+
+// goldenDigests pins engine.Digest values ("events:hash") for the
+// seed-0 run of each registered scenario's first grid point at
+// goldenFid. Any nondeterminism — wall-clock leakage, global RNG, map
+// iteration reaching the event stream — or any intentional model change
+// shows up here as a digest mismatch in plain `go test`, without
+// running the sweep CLI's -check-determinism gate. On intentional model
+// changes, re-pin from the table the failure message prints.
+var goldenDigests = map[string]string{
+	"unfairness":        "134832:b0afe067b565872e",
+	"victimflow":        "327218:feaec20f85a57601",
+	"convergence-fig13": "77428:791384209ba24bad",
+	"incast":            "19880:e55aa54b9a0757b6",
+	"benchmark-fig16":   "863997:9e2d0fc1e976250c",
+	"fig18":             "806415:3a9ab7b50493b7a6",
+	"ablation-g":        "42205:c9309e0326c35cb5",
+	"ablation-rai":      "58462:5f52a1eb1b3cd65e",
+	"ablation-timer":    "110685:4be8db24c7329dbe",
+	"ablation-cnp":      "114995:f541550c4d73aef5",
+	"randomloss":        "63473:6cfed2a6db7bd1a6",
+}
+
+func TestGoldenDigests(t *testing.T) {
+	reg := testRegistry(t, goldenFid())
+	got := make(map[string]string)
+	for _, sc := range reg.All() {
+		res := sc.Run(harness.RunContext{
+			Scenario: sc.Name,
+			Point:    sc.Points[0],
+			PointIdx: 0,
+			Seed:     0,
+		})
+		got[sc.Name] = res.Digest.String()
+	}
+
+	mismatch := false
+	for _, name := range reg.Names() {
+		want, ok := goldenDigests[name]
+		switch {
+		case !ok:
+			t.Errorf("scenario %q has no golden digest", name)
+			mismatch = true
+		case got[name] != want:
+			t.Errorf("scenario %q digest = %s, want %s", name, got[name], want)
+			mismatch = true
+		}
+	}
+	for name := range goldenDigests {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden digest for unregistered scenario %q", name)
+			mismatch = true
+		}
+	}
+	if mismatch {
+		var b strings.Builder
+		for _, name := range reg.Names() {
+			fmt.Fprintf(&b, "\t%q: %q,\n", name, got[name])
+		}
+		t.Logf("replacement golden table:\n%s", b.String())
 	}
 }

@@ -51,7 +51,9 @@ func StabilityProbe(cfg Config, nFlows int, perturb float64) (StabilityResult, e
 	// Deviation envelope of the perturbed flow around the fair share.
 	dev := func(i int) float64 { return math.Abs(res.Rates[0][i] - fair) }
 	out := StabilityResult{InitialDeviation: dev(0)}
-	if out.InitialDeviation == 0 {
+	// Degenerate-perturbation guard: exactly +0.0 (math.Abs never yields
+	// -0.0), spelled as a bit test rather than float ==.
+	if math.Float64bits(out.InitialDeviation) == 0 {
 		return out, fmt.Errorf("fluid: perturbation had no effect")
 	}
 	out.HalfLife = math.NaN()

@@ -257,7 +257,11 @@ func recordDiff(a, b RunRecord) string {
 		if !ok {
 			return fmt.Sprintf("metric %q missing in rerun", k)
 		}
-		if va != vb {
+		// The determinism gate demands bit-identical reruns, so compare
+		// representations, not numeric values: this also catches a NaN
+		// that float != would wave through (NaN != NaN is always true,
+		// but NaN vs NaN here means "identically degenerate", not drift).
+		if math.Float64bits(va) != math.Float64bits(vb) {
 			return fmt.Sprintf("metric %q: %v vs %v", k, va, vb)
 		}
 	}

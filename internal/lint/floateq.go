@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// Floateq flags == and != between floating-point operands (including
+// named float types such as simtime.Rate) and switches over float
+// values. DCQCN's rate and alpha updates accumulate rounding, so exact
+// equality silently encodes "these two computations rounded
+// identically" — a property that breaks under any reordering and shows
+// up as digest mismatches. Comparisons must use an epsilon, compare
+// integers instead, or restructure.
+//
+// Two shapes are exempt: comparisons where both operands are
+// compile-time constants (the compiler folds them; nothing can drift)
+// and the x != x / x == x NaN idiom, which is exact by IEEE-754
+// definition.
+var Floateq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point operands and switches on float values in model code; " +
+		"use epsilons, integer comparisons, or restructure",
+	Run: runFloateq,
+}
+
+func runFloateq(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				xt, xok := info.Types[e.X]
+				yt, yok := info.Types[e.Y]
+				if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant-folded at compile time
+				}
+				if isNaNIdiom(e) {
+					return true
+				}
+				pass.Reportf(e.OpPos,
+					"floating-point %s comparison: exact float equality is rounding-order dependent; use an epsilon or restructure",
+					e.Op)
+			case *ast.SwitchStmt:
+				if e.Tag == nil {
+					return true
+				}
+				if tv, ok := info.Types[e.Tag]; ok && isFloat(tv.Type) {
+					pass.Reportf(e.Tag.Pos(),
+						"switch over a floating-point value compares with exact equality; use an epsilon or restructure")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNaNIdiom recognizes x != x and x == x on a bare identifier, the
+// portable NaN test.
+func isNaNIdiom(e *ast.BinaryExpr) bool {
+	x, xok := ast.Unparen(e.X).(*ast.Ident)
+	y, yok := ast.Unparen(e.Y).(*ast.Ident)
+	return xok && yok && x.Name == y.Name
+}

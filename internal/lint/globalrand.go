@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// Globalrand forbids the process-global math/rand source in model
+// packages. The global source is shared across goroutines and seeded
+// once per process, so anything drawn from it varies run to run and
+// across concurrent sweep workers. All model randomness must flow
+// through the per-simulation source — engine.Sim.Rand() or an injected
+// *rand.Rand — whose stream is a pure function of the run seed. The
+// sanctioned constructor sites are the engine package's New (the
+// primary source) and Sim.NewStream (derived auxiliary streams).
+var Globalrand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand functions and rand constructors outside engine.New/NewStream; " +
+		"model randomness must come from engine.Sim.Rand(), Sim.NewStream() or an injected *rand.Rand",
+	Run: runGlobalrand,
+}
+
+// randConstructorHosts are the functions (within a package named
+// "engine") allowed to call rand constructors.
+var randConstructorHosts = map[string]bool{
+	"New":       true,
+	"NewStream": true,
+}
+
+// randPackages are the import paths whose package-level state is banned.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func runGlobalrand(pass *analysis.Pass) error {
+	if ExemptFromModelRules(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, _ := decl.(*ast.FuncDecl)
+			inEngineNew := fn != nil && randConstructorHosts[fn.Name.Name] &&
+				pass.Pkg.Name() == "engine"
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pn := pkgNameOf(pass.TypesInfo, sel.X)
+				if pn == nil || !randPackages[pn.Imported().Path()] {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil {
+					return true
+				}
+				if _, isType := obj.(*types.TypeName); isType {
+					// Types like rand.Rand and rand.Source are how
+					// injected sources are declared; only package-level
+					// state and constructors are contract-relevant.
+					return true
+				}
+				name := sel.Sel.Name
+				if (name == "New" || name == "NewSource" || name == "NewPCG" || name == "NewChaCha8") && inEngineNew {
+					return true
+				}
+				if name == "New" || name == "NewSource" || name == "NewPCG" || name == "NewChaCha8" {
+					pass.Reportf(sel.Pos(),
+						"rand.%s outside engine.New/NewStream: simulations must get sources from the engine (Sim.Rand, Sim.NewStream), not construct their own",
+						name)
+				} else {
+					pass.Reportf(sel.Pos(),
+						"package-level rand.%s uses the process-global source: draw from engine.Sim.Rand() or an injected *rand.Rand instead",
+						name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcqcn/internal/lint"
+	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/load"
+)
+
+func TestAllStableOrder(t *testing.T) {
+	want := []string{"walltime", "globalrand", "maporder", "floateq", "simtime"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+}
+
+func TestExemptFromModelRules(t *testing.T) {
+	cases := []struct {
+		path   string
+		exempt bool
+	}{
+		{"dcqcn/internal/engine", false},
+		{"dcqcn/internal/experiments", false},
+		{"dcqcn/internal/harness", true},
+		{"dcqcn/cmd/dcqcn-sweep", true},
+		{"dcqcn/internal/lint/testdata/src/walltime/model", false},
+		{"dcqcn/internal/lint/testdata/src/walltime/harness", true},
+		{"dcqcn/internal/lint/testdata/src/walltime/cmd/tool", true},
+		// The exemption matches whole path elements, not substrings.
+		{"dcqcn/internal/harnessutil", false},
+		{"dcqcn/internal/cmdparse", false},
+	}
+	for _, c := range cases {
+		if got := lint.ExemptFromModelRules(c.path); got != c.exempt {
+			t.Errorf("ExemptFromModelRules(%q) = %v, want %v", c.path, got, c.exempt)
+		}
+	}
+}
+
+// runOn loads one fixture package and runs the analyzers over it with
+// the given config, returning the findings.
+func runOn(t *testing.T, cfg *lint.Config, analyzers []*analysis.Analyzer, pattern string) []lint.Finding {
+	t.Helper()
+	pkgs, err := load.Packages(".", pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(pkgs, analyzers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestRunSuppression checks the per-package suppression path end to
+// end: the floateq fixture has findings without config and none with a
+// matching suppression, while an unrelated suppression changes nothing.
+func TestRunSuppression(t *testing.T) {
+	const fixture = "./testdata/src/floateq/a"
+	const fixturePath = "dcqcn/internal/lint/testdata/src/floateq/a"
+
+	plain := runOn(t, nil, lint.All(), fixture)
+	if len(plain) == 0 {
+		t.Fatal("expected findings in floateq fixture without suppression")
+	}
+	for _, f := range plain {
+		if f.Analyzer != "floateq" {
+			t.Errorf("unexpected analyzer %q in floateq fixture: %s", f.Analyzer, f)
+		}
+		if f.Package != fixturePath {
+			t.Errorf("finding attributed to %q, want %q", f.Package, fixturePath)
+		}
+	}
+
+	suppressed := runOn(t, &lint.Config{Suppressions: []lint.Suppression{
+		{Analyzer: "floateq", Package: fixturePath, Reason: "test"},
+	}}, lint.All(), fixture)
+	if len(suppressed) != 0 {
+		t.Fatalf("suppression left %d findings: %v", len(suppressed), suppressed)
+	}
+
+	unrelated := runOn(t, &lint.Config{Suppressions: []lint.Suppression{
+		{Analyzer: "maporder", Package: fixturePath, Reason: "test"},
+		{Analyzer: "floateq", Package: "dcqcn/internal/other", Reason: "test"},
+	}}, lint.All(), fixture)
+	if len(unrelated) != len(plain) {
+		t.Fatalf("unrelated suppressions changed findings: %d vs %d", len(unrelated), len(plain))
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	write := func(t *testing.T, content string) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "lint.json")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := `{"suppressions":[{"analyzer":"floateq","package":"dcqcn/internal/stats","reason":"exact comparisons on stored samples"}]}`
+	cfg, err := lint.LoadConfig(write(t, good))
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if len(cfg.Suppressions) != 1 {
+		t.Fatalf("got %d suppressions, want 1", len(cfg.Suppressions))
+	}
+
+	bad := map[string]string{
+		"unknown analyzer": `{"suppressions":[{"analyzer":"nosuch","package":"p","reason":"r"}]}`,
+		"missing package":  `{"suppressions":[{"analyzer":"floateq","reason":"r"}]}`,
+		"missing reason":   `{"suppressions":[{"analyzer":"floateq","package":"p"}]}`,
+		"malformed json":   `{"suppressions":`,
+	}
+	for name, content := range bad {
+		if _, err := lint.LoadConfig(write(t, content)); err == nil {
+			t.Errorf("%s: config accepted, want error", name)
+		}
+	}
+}
+
+// TestRepoConfigValid keeps the checked-in lint.json loadable and every
+// suppression reasoned, so `make lint` cannot be silently misconfigured.
+func TestRepoConfigValid(t *testing.T) {
+	cfg, err := lint.LoadConfig("../../lint.json")
+	if err != nil {
+		t.Fatalf("repo lint.json invalid: %v", err)
+	}
+	for _, s := range cfg.Suppressions {
+		if !strings.HasPrefix(s.Package, "dcqcn/") {
+			t.Errorf("suppression for %q names a package outside the module", s.Package)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages using only the standard library and the go command. It is the
+// substrate for the determinism-contract analyzers: `go list -deps
+// -export` enumerates the requested packages plus compiled export data
+// for everything they import, and go/types checks the root sources
+// against that export data via the gc importer. This mirrors what
+// golang.org/x/tools/go/packages does in LoadAllSyntax mode for the
+// roots, without the dependency.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked root package.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset is the file set positions in Files refer to. All packages
+	// returned by one Packages call share it.
+	Fset *token.FileSet
+	// Files holds the parsed non-test Go files, in GoFiles order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's facts about Files.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses and type-checks the packages matched by
+// patterns, resolved relative to dir (the go command's working
+// directory). Test files are deliberately excluded: the determinism
+// contract allowlists them, and export data describes only the non-test
+// halves of dependencies anyway.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("load: no patterns")
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every dependency, keyed by import path. The gc
+	// importer consumes these through the lookup function below.
+	exports := make(map[string]string)
+	var roots []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+
+	var out []*Package
+	for _, p := range roots {
+		pkg, err := check(fset, &conf, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one listed root package.
+func check(fset *token.FileSet, conf *types.Config, p *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: p.ImportPath,
+		Dir:     p.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// goList runs `go list -deps -export -json` on the patterns and decodes
+// the resulting JSON stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("load: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		out = append(out, &p)
+	}
+	return out, nil
+}

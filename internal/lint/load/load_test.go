@@ -1,0 +1,53 @@
+package load
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestPackagesTypeInfo loads a real module package and checks that the
+// loader delivers what the analyzers depend on: parsed files with
+// comments, a type-checked package, and populated Uses/Types maps that
+// resolve through export data (simtime's named types must come back as
+// named types, not stand-ins).
+func TestPackagesTypeInfo(t *testing.T) {
+	pkgs, err := Packages("../../..", "./internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "dcqcn/internal/engine" {
+		t.Fatalf("PkgPath = %q", p.PkgPath)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.Info == nil {
+		t.Fatal("missing files, types or info")
+	}
+	// engine.Sim.Now must return the named type simtime.Time.
+	sim := p.Types.Scope().Lookup("Sim")
+	if sim == nil {
+		t.Fatal("engine.Sim not found")
+	}
+	now, _, _ := types.LookupFieldOrMethod(sim.Type(), true, p.Types, "Now")
+	if now == nil {
+		t.Fatal("Sim.Now not found")
+	}
+	res := now.Type().(*types.Signature).Results().At(0).Type()
+	named, ok := res.(*types.Named)
+	if !ok || named.Obj().Name() != "Time" || named.Obj().Pkg().Name() != "simtime" {
+		t.Fatalf("Sim.Now returns %v, want simtime.Time", res)
+	}
+	if len(p.Info.Uses) == 0 || len(p.Info.Types) == 0 {
+		t.Fatal("type info maps are empty")
+	}
+}
+
+// TestPackagesBadPattern reports unknown patterns as errors rather than
+// returning an empty slice the caller would mistake for a clean run.
+func TestPackagesBadPattern(t *testing.T) {
+	if _, err := Packages("../../..", "./no/such/dir"); err == nil {
+		t.Fatal("expected error for unknown pattern")
+	}
+}

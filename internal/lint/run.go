@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/load"
+)
+
+// Finding is one diagnostic from one analyzer, in the shape both the
+// text and -json outputs of dcqcn-lint use.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+
+	position token.Position
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Suppression silences one analyzer for one package, with a mandatory
+// recorded reason. This is the coarse-grained escape hatch for whole
+// packages whose job violates a rule by design; single map ranges use
+// the //lint:ordered annotation instead.
+type Suppression struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	Reason   string `json:"reason"`
+}
+
+// Config is the multichecker's suppression configuration, read from a
+// JSON file (see dcqcn-lint -config).
+type Config struct {
+	Suppressions []Suppression `json:"suppressions"`
+}
+
+// LoadConfig reads and validates a suppression config file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for i, s := range cfg.Suppressions {
+		switch {
+		case !known[s.Analyzer]:
+			return nil, fmt.Errorf("lint: %s: suppression %d names unknown analyzer %q", path, i, s.Analyzer)
+		case s.Package == "":
+			return nil, fmt.Errorf("lint: %s: suppression %d has no package", path, i)
+		case s.Reason == "":
+			return nil, fmt.Errorf("lint: %s: suppression %d (%s on %s) has no reason", path, i, s.Analyzer, s.Package)
+		}
+	}
+	return &cfg, nil
+}
+
+// suppressed reports whether cfg silences analyzer on pkgPath.
+func (c *Config) suppressed(analyzer, pkgPath string) bool {
+	if c == nil {
+		return false
+	}
+	for _, s := range c.Suppressions {
+		if s.Analyzer == analyzer && s.Package == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer in analyzers to every package in pkgs,
+// drops findings the config suppresses, and returns the remainder
+// sorted by position. Analyzer errors (not findings) abort the run.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, cfg *Config) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if cfg.suppressed(a.Name, pkg.PkgPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name, pkgPath := a.Name, pkg.PkgPath
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Package:  pkgPath,
+					Pos:      pos.String(),
+					Message:  d.Message,
+					position: pos,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.position.Filename != b.position.Filename {
+			return a.position.Filename < b.position.Filename
+		}
+		if a.position.Line != b.position.Line {
+			return a.position.Line < b.position.Line
+		}
+		if a.position.Column != b.position.Column {
+			return a.position.Column < b.position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

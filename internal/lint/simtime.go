@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// Simtime is the unit-safety pass for the picosecond clock. simtime.Time
+// and simtime.Duration are int64s in picoseconds; time.Duration is an
+// int64 in nanoseconds; and a bare literal is an int64 in whatever the
+// author was thinking. All three convert silently, so a `1000000`
+// passed to engine.After or a simtime.Duration(time.Millisecond)
+// conversion compiles and then runs at the wrong timescale by factors
+// of a thousand. The analyzer flags:
+//
+//   - untyped numeric constants (other than 0) supplied where a
+//     simtime.Time or simtime.Duration is expected, as a call argument
+//     or composite-literal field — spell durations with the unit
+//     constants (5 * simtime.Microsecond);
+//   - conversions of time.Duration values into simtime types, which
+//     cross a nanosecond/picosecond unit boundary without scaling.
+//
+// Typed expressions that already carry a simtime type pass untouched,
+// as does literal 0, which is unit-free.
+var Simtime = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "flag bare numeric literals and time.Duration values supplied where simtime.Time/Duration " +
+		"is expected; spell durations with simtime unit constants",
+	Run: runSimtime,
+}
+
+func runSimtime(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkSimtimeCall(pass, e)
+			case *ast.CompositeLit:
+				checkSimtimeCompositeLit(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// simtimeNamed returns the simtime package-level named type (Time or
+// Duration) t denotes, or nil.
+func simtimeNamed(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "simtime" {
+		return nil
+	}
+	if obj.Name() == "Time" || obj.Name() == "Duration" {
+		return named
+	}
+	return nil
+}
+
+// isTimeDuration reports whether t is the standard library's
+// time.Duration.
+func isTimeDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func checkSimtimeCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	funTV, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+
+	// Conversion: simtime.T(x). Flag when x carries time.Duration — the
+	// value is in nanoseconds, the target counts picoseconds.
+	if funTV.IsType() {
+		target := simtimeNamed(funTV.Type)
+		if target == nil || len(call.Args) != 1 {
+			return
+		}
+		if argTV, ok := info.Types[call.Args[0]]; ok && isTimeDuration(argTV.Type) {
+			pass.Reportf(call.Pos(),
+				"conversion of time.Duration (nanoseconds) to %s (picoseconds) crosses units without scaling",
+				funTV.Type)
+		}
+		return
+	}
+
+	sig, ok := funTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		named := simtimeNamed(pt)
+		if named == nil {
+			continue
+		}
+		checkSimtimeValue(pass, arg, named)
+	}
+}
+
+func checkSimtimeCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, el := range lit.Elts {
+		var value ast.Expr
+		var ft types.Type
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == key.Name {
+					ft = st.Field(j).Type()
+					break
+				}
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			ft = st.Field(i).Type()
+			value = el
+		}
+		if ft == nil {
+			continue
+		}
+		if named := simtimeNamed(ft); named != nil {
+			checkSimtimeValue(pass, value, named)
+		}
+	}
+}
+
+// checkSimtimeValue flags arg if it is a bare (unit-free) non-zero
+// numeric constant supplied for the simtime type want. Expressions that
+// reference any simtime-typed or simtime-package object carry their
+// units and pass.
+func checkSimtimeValue(pass *analysis.Pass, arg ast.Expr, want *types.Named) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int && tv.Value.Kind() != constant.Float {
+		return
+	}
+	if v, ok := constant.Int64Val(tv.Value); ok && v == 0 {
+		return
+	}
+	if mentionsSimtime(pass.TypesInfo, arg) {
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"bare numeric literal %s used as %s: picosecond counts must be spelled with simtime unit constants (e.g. 5*simtime.Microsecond)",
+		tv.Value, want)
+}
+
+// mentionsSimtime reports whether any identifier within e resolves to
+// an object declared in the simtime package or typed with a simtime
+// named type — either way the expression carries explicit units.
+func mentionsSimtime(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Pkg().Name() == "simtime" {
+			found = true
+		} else if simtimeNamed(obj.Type()) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

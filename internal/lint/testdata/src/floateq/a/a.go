@@ -1,0 +1,48 @@
+// Package a exercises the floateq analyzer: exact equality between
+// floats is flagged, including through named float types; constant
+// folds, the NaN self-comparison idiom and integer comparisons pass.
+package a
+
+// Rate mirrors simtime.Rate: a named type over float64 is still a
+// float for equality purposes.
+type Rate float64
+
+func cmpEq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func cmpNeq(a, b Rate) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `floating-point == comparison`
+}
+
+const (
+	kA = 0.1
+	kB = 0.3
+)
+
+// constFold compares compile-time constants, which the compiler folds
+// exactly; nothing can drift at run time.
+func constFold() bool {
+	return kA*3 == kB
+}
+
+// isNaN is the IEEE-754 self-comparison idiom, exact by definition.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// intCmp: integer equality is exact.
+func intCmp(a, b int64) bool { return a == b }
+
+// floatSwitch compares its tag with exact equality per case.
+func floatSwitch(x float64) int {
+	switch x { // want `switch over a floating-point value`
+	case 0:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,25 @@
+// Package engine mirrors the real engine package: rand constructors
+// are sanctioned inside New and NewStream — the two functions that
+// exist to build seeded sources — and nowhere else, even in the same
+// package.
+package engine
+
+import "math/rand"
+
+// Sim is a stand-in for the real simulator.
+type Sim struct{ rng *rand.Rand }
+
+// New may construct the primary source.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewStream may construct derived auxiliary sources.
+func (s *Sim) NewStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// rogue is in the right package but the wrong function.
+func rogue(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand\.New outside` `rand\.NewSource outside`
+}

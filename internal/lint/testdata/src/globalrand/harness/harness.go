@@ -1,0 +1,9 @@
+// Package harness is the allowlist-boundary fixture for globalrand: a
+// "harness" path element exempts orchestration code, whose jitter does
+// not feed any simulation.
+package harness
+
+import "math/rand"
+
+// Jitter spreads worker start times; not model randomness.
+func Jitter() float64 { return rand.Float64() }

@@ -1,0 +1,46 @@
+// Package a exercises the simtime unit analyzer against the real
+// simtime package: bare numeric constants supplied where simtime.Time
+// or simtime.Duration is expected are flagged, as are conversions from
+// time.Duration (nanoseconds) into the picosecond types.
+package a
+
+import (
+	"time"
+
+	"dcqcn/internal/simtime"
+)
+
+func schedule(d simtime.Duration)      {}
+func at(t simtime.Time, fn func())     {}
+func delays(ds ...simtime.Duration)    {}
+func scaled(n int, d simtime.Duration) {}
+
+type config struct {
+	Horizon simtime.Time
+	Tick    simtime.Duration
+	Count   int
+}
+
+const tick = 5 * simtime.Microsecond
+
+// good spells every duration with simtime units (or zero, which is
+// unit-free), so nothing is reported.
+func good() {
+	schedule(3 * simtime.Millisecond)
+	schedule(0)
+	schedule(2 * tick)
+	at(simtime.Time(tick), nil)
+	delays(simtime.Second, 2*tick)
+	scaled(7, tick)
+	_ = config{Horizon: simtime.Time(3 * tick), Tick: tick, Count: 7}
+}
+
+// bad supplies raw numbers where picosecond types are expected.
+func bad(td time.Duration) {
+	schedule(1000000)                              // want `bare numeric literal 1000000 used as dcqcn/internal/simtime\.Duration`
+	at(25000, nil)                                 // want `bare numeric literal 25000 used as dcqcn/internal/simtime\.Time`
+	delays(simtime.Second, 42)                     // want `bare numeric literal 42`
+	_ = config{Horizon: 100, Tick: tick, Count: 7} // want `bare numeric literal 100`
+	_ = config{200, tick, 7}                       // want `bare numeric literal 200`
+	_ = simtime.Duration(td)                       // want `conversion of time\.Duration \(nanoseconds\)`
+}

@@ -1,0 +1,8 @@
+// Package tool is the cmd-side allowlist fixture: a "cmd" path element
+// marks command-line code, where wall-clock reads are permitted.
+package tool
+
+import "time"
+
+// Uptime measures real elapsed time for progress reporting.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,9 @@
+// Package harness is the allowlist-boundary fixture: its import path
+// contains a "harness" element, so wall-clock reads (provenance
+// timestamps) are permitted and nothing here is reported.
+package harness
+
+import "time"
+
+// Stamp records a provenance timestamp, which is the harness's job.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,9 @@
+package model
+
+import wall "time"
+
+// aliased shows the check resolves the package through go/types, not
+// the literal identifier "time".
+func aliased() wall.Time {
+	return wall.Now() // want `wall-clock time\.Now`
+}

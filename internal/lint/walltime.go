@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// Walltime forbids reading the wall clock in model packages. A
+// simulation that consults time.Now (or schedules through runtime
+// timers) produces different event streams on every run, which the
+// engine digest would only catch after the fact; banning the calls
+// statically keeps the clock singular: simtime, advanced by the event
+// loop.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time (time.Now, time.Sleep, runtime timers) in model packages; " +
+		"model code must use the simulated clock (engine.Sim.Now/After/Ticker)",
+	Run: runWalltime,
+}
+
+// walltimeForbidden lists the time-package functions that read or react
+// to the wall clock. Pure conversions and constructors of constants
+// (time.Duration arithmetic, time.Unix on stored data) are not listed:
+// they are deterministic.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runWalltime(pass *analysis.Pass) error {
+	if ExemptFromModelRules(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass.TypesInfo, sel.X)
+			if pn == nil || pn.Imported().Path() != "time" {
+				return true
+			}
+			if walltimeForbidden[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"wall-clock time.%s in model package %s: model code must use the simulated clock (engine.Sim.Now/After/Ticker)",
+					sel.Sel.Name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
