@@ -10,9 +10,9 @@ GO ?= go
 # same code (testdata fixtures are excluded by pattern expansion).
 PKGS ?= ./...
 
-.PHONY: check fmt vet lint build test race bench sweep-smoke sweep clean
+.PHONY: check fmt vet lint build test race faults bench sweep-smoke sweep chaos clean
 
-check: fmt vet lint build race
+check: fmt vet lint build faults race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -35,6 +35,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The fault-injection subsystem on its own under the race detector.
+# `race` covers it too; the separate target names a chaos regression
+# explicitly in the failure output and gives a fast local gate.
+faults:
+	$(GO) test -race ./internal/faults/...
+
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkSweep -benchtime=1x .
 
@@ -48,5 +54,12 @@ sweep-smoke:
 sweep:
 	$(GO) run ./cmd/dcqcn-sweep -parallel 0 -check-determinism -out sweep-out
 
+# Chaos smoke: one seed per fault-injection scenario with the runtime
+# determinism gate on — proves the injector's aux-stream draws stay off
+# the primary RNG. Artifacts land in chaos-out/.
+chaos:
+	$(GO) run ./cmd/dcqcn-sweep -scenario 'chaos-*' -seeds 1 -parallel 0 \
+		-check-determinism -quiet -out chaos-out
+
 clean:
-	rm -rf sweep-out
+	rm -rf sweep-out chaos-out

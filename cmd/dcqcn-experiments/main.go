@@ -132,6 +132,8 @@ func all(reg *harness.Registry, fid experiments.Fidelity, parallel int) []experi
 			}},
 		{"ablations", "Design-choice ablations (g, R_AI, timer, CNP priority)",
 			sweep(reg, "ablation-*", parallel)},
+		{"chaos", "Fault injection: pause storms, flaps, loss windows, deadlock probe",
+			sweep(reg, "chaos-*", parallel)},
 	}
 }
 
@@ -169,6 +171,7 @@ func main() {
 	}
 	reg := harness.NewRegistry()
 	experiments.RegisterScenarios(reg, fid)
+	experiments.RegisterChaosScenarios(reg, fid)
 
 	exps := all(reg, fid, *parallel)
 	if *list {

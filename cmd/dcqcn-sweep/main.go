@@ -11,8 +11,8 @@
 // Usage:
 //
 //	dcqcn-sweep [-scenario name,glob*] [-parallel N] [-reruns N]
-//	            [-out dir] [-full] [-check-determinism] [-bench] [-list]
-//	            [-quiet]
+//	            [-seeds N] [-out dir] [-full] [-check-determinism]
+//	            [-bench] [-list] [-quiet]
 //
 // -check-determinism reruns every (point, seed) at least twice and fails
 // loudly unless engine digests and metrics are bit-identical — the gate
@@ -40,6 +40,7 @@ func main() {
 		out      = flag.String("out", "sweep-out", "artifact directory ('' disables artifacts)")
 		full     = flag.Bool("full", false, "high-fidelity runs (slow)")
 		checkDet = flag.Bool("check-determinism", false, "rerun each (point, seed) and fail on digest mismatch")
+		seedCap  = flag.Int("seeds", 0, "cap seeds per scenario (0 = all registered)")
 		bench    = flag.Bool("bench", false, "also time the grid at -parallel 1 and record the speedup")
 		list     = flag.Bool("list", false, "list scenarios and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress")
@@ -54,6 +55,7 @@ func main() {
 	}
 	reg := harness.NewRegistry()
 	experiments.RegisterScenarios(reg, fid)
+	experiments.RegisterChaosScenarios(reg, fid)
 
 	if *list {
 		for _, sc := range reg.All() {
@@ -67,6 +69,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *seedCap > 0 {
+		for i := range scs {
+			if len(scs[i].Seeds) > *seedCap {
+				scs[i].Seeds = scs[i].Seeds[:*seedCap]
+			}
+		}
 	}
 
 	prov := harness.NewProvenance("dcqcn-sweep")

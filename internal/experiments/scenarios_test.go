@@ -15,6 +15,7 @@ func testRegistry(t *testing.T, fid Fidelity) *harness.Registry {
 	t.Helper()
 	reg := harness.NewRegistry()
 	RegisterScenarios(reg, fid)
+	RegisterChaosScenarios(reg, fid)
 	return reg
 }
 
@@ -24,6 +25,8 @@ func TestRegisterScenarios(t *testing.T) {
 		"unfairness", "victimflow", "convergence-fig13", "incast",
 		"benchmark-fig16", "fig18", "ablation-g", "ablation-rai",
 		"ablation-timer", "ablation-cnp", "randomloss",
+		"chaos-pause-storm", "chaos-flap-incast", "chaos-lossy-link",
+		"chaos-victim-storm", "chaos-deadlock-probe",
 	}
 	got := reg.Names()
 	if len(got) != len(want) {
@@ -121,6 +124,15 @@ var goldenDigests = map[string]string{
 	"ablation-timer":    "110685:4be8db24c7329dbe",
 	"ablation-cnp":      "114995:f541550c4d73aef5",
 	"randomloss":        "63473:6cfed2a6db7bd1a6",
+
+	// Chaos suite: digests cover the fault-injection subsystem too — an
+	// injector that drew from the primary stream or armed transitions
+	// nondeterministically would shift these.
+	"chaos-pause-storm":    "63291:274936f85097f20f",
+	"chaos-flap-incast":    "68463:b7058c36d00b6f2f",
+	"chaos-lossy-link":     "11891:3f1f9dffdbd3947f",
+	"chaos-victim-storm":   "244330:9a3bde85abf0b636",
+	"chaos-deadlock-probe": "270781:4c76ba0ad81eef52",
 }
 
 func TestGoldenDigests(t *testing.T) {

@@ -163,6 +163,36 @@ func (s *Switch) EgressQueue(port int, prio uint8) int64 {
 	return s.ports[port].QueuedBytes(prio)
 }
 
+// SetBeta replaces the dynamic PFC threshold sharing factor at run time
+// — the switch-misconfiguration fault of the chaos suite (an operator
+// or agent pushing a wrong β to one device of a fleet, §4's "thresholds
+// must be set correctly" made concrete). Takes effect on the next
+// ingress-queue evaluation.
+func (s *Switch) SetBeta(beta float64) {
+	if beta <= 0 {
+		panic(fmt.Sprintf("fabric: non-positive beta on %s", s.Name))
+	}
+	s.cfg.Beta = beta
+}
+
+// SetStaticPFCThreshold replaces (positive) or clears (zero) the static
+// PAUSE threshold at run time, overriding the dynamic formula.
+func (s *Switch) SetStaticPFCThreshold(t int64) {
+	if t < 0 {
+		panic(fmt.Sprintf("fabric: negative static PFC threshold on %s", s.Name))
+	}
+	s.cfg.StaticPFCThreshold = t
+}
+
+// SetMarking replaces the RED/ECN profile at run time (misconfiguration
+// skew: one switch marking at the wrong thresholds). The marking RNG
+// keeps drawing from the simulation's primary stream, so determinism is
+// unaffected.
+func (s *Switch) SetMarking(p core.Params) {
+	s.cfg.Marking = p
+	s.cp = core.NewCP(p, s.sim.Rand().Float64)
+}
+
 // pfcThreshold returns the XOFF threshold in force right now.
 func (s *Switch) pfcThreshold() int64 {
 	if s.cfg.StaticPFCThreshold > 0 {

@@ -1,0 +1,233 @@
+// Package faults is the deterministic fault-injection subsystem: it
+// schedules failures against a running simulation so the chaos scenarios
+// can reproduce, on demand, the operational pathologies the DCQCN paper
+// is motivated by — §2's production outage where one malfunctioning NIC
+// emitted a continuous PFC pause storm that froze traffic across the
+// Clos, §4's cascading pauses and victim flows, and §7's non-congestion
+// losses meeting go-back-N recovery.
+//
+// Determinism contract: a fault plan is armed once, before (or during) a
+// run, and every fault transition is an ordinary engine event. The only
+// randomness faults consume (per-frame loss draws) comes from an
+// auxiliary stream created with engine.Sim.NewStream, never from the
+// simulation's primary source, so arming the same plan with the same
+// seed yields a bit-identical engine digest — the sweep harness's
+// determinism gate and the golden-digest regression test both hold with
+// chaos scenarios enabled.
+//
+// The taxonomy (one Kind per §-level pathology):
+//
+//   - LinkFlap: a cable dies and returns, possibly repeatedly; frames in
+//     flight are lost, exercising RoCEv2 go-back-N.
+//   - PacketLoss: random frame corruption on one host link, drawn from
+//     the injector's auxiliary RNG (the §7 environment, but switchable
+//     mid-run).
+//   - PauseStorm: a NIC continuously asserts PAUSE on its priority —
+//     the §2 outage in miniature. The storm never sends XON; recovery
+//     relies on PFC quanta expiry, as the real incident did.
+//   - SlowReceiver: a host's receive pipeline degrades to a trickle,
+//     driving sustained PFC toward its ToR (the victim-flow generator).
+//   - SwitchMisconfig: one switch's β, static PAUSE threshold or ECN
+//     marking profile is skewed mid-run (§4's "thresholds must be set
+//     correctly", violated on purpose).
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"dcqcn/internal/packet"
+	"dcqcn/internal/simtime"
+	"dcqcn/internal/topology"
+)
+
+// Kind discriminates the fault types the injector can arm.
+type Kind int
+
+// Fault kinds.
+const (
+	// LinkFlap takes a host's link down and up, dropping in-flight frames.
+	LinkFlap Kind = iota
+	// PacketLoss corrupts random frames on a host's link (auxiliary RNG).
+	PacketLoss
+	// PauseStorm makes a NIC continuously assert PAUSE on its priority.
+	PauseStorm
+	// SlowReceiver throttles a NIC's receive drain rate.
+	SlowReceiver
+	// SwitchMisconfig skews one switch's PFC/ECN configuration.
+	SwitchMisconfig
+)
+
+var kindNames = [...]string{"link-flap", "packet-loss", "pause-storm", "slow-receiver", "switch-misconfig"}
+
+// String names the kind for labels and artifacts.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Spec is one declarative fault: what fails, when, for how long, and the
+// kind-specific parameters. Unused parameter fields are ignored.
+type Spec struct {
+	// Kind selects the failure mode.
+	Kind Kind
+	// Target names the failing element: a host (LinkFlap, PacketLoss,
+	// PauseStorm, SlowReceiver) or a switch (SwitchMisconfig).
+	Target string
+	// Start is the activation time, as an offset from when the plan is
+	// armed (scenarios arm at t=0, so in practice an absolute sim time).
+	Start simtime.Duration
+	// Duration is the active window; the fault clears at Start+Duration.
+	Duration simtime.Duration
+
+	// FlapCount (LinkFlap) is the number of down/up cycles spread evenly
+	// over the window; default 1.
+	FlapCount int
+	// FlapDown (LinkFlap) is how long the link stays down in each cycle;
+	// default (or when larger than a cycle) the whole cycle, i.e. a hard
+	// outage for the full window.
+	FlapDown simtime.Duration
+
+	// LossRate (PacketLoss) is the per-frame drop probability in (0, 1).
+	// PFC control frames are exempt, mirroring link.SetLossRate: losing
+	// those models a different failure (PauseStorm covers the misbehaving
+	// device case).
+	LossRate float64
+
+	// Priority (PauseStorm) is the PFC class the storm asserts; zero
+	// means the target NIC's data priority (class 0 storms are not
+	// expressible, and nothing in this model sends data on class 0).
+	Priority uint8
+	// Period (PauseStorm) is the XOFF refresh interval; default half the
+	// PFC pause duration, the refresh cadence real devices use. The storm
+	// deliberately never sends XON when it clears — like the §2 NIC, it
+	// just stops; the paused port recovers by quanta expiry.
+	Period simtime.Duration
+
+	// DrainRate (SlowReceiver) is the degraded receive-pipeline rate;
+	// must be positive (the pipeline crawls, it does not vanish).
+	DrainRate simtime.Rate
+
+	// Beta (SwitchMisconfig), if positive, replaces the dynamic PFC
+	// threshold sharing factor for the window.
+	Beta float64
+	// StaticPFCThreshold (SwitchMisconfig), if positive, pins the PAUSE
+	// threshold to a fixed value for the window.
+	StaticPFCThreshold int64
+	// KMin, KMax, PMax (SwitchMisconfig), if positive, skew the RED/ECN
+	// marking profile for the window.
+	KMin, KMax int64
+	PMax       float64
+}
+
+// Plan is an ordered list of fault specs; arming order breaks ties
+// between transitions scheduled at the same instant, so a Plan is fully
+// deterministic by construction.
+type Plan []Spec
+
+// Validate checks every spec against the network the plan will be armed
+// on, returning the first error. Beyond per-spec sanity it rejects
+// overlapping PacketLoss windows on the same link, because a link holds
+// at most one drop hook at a time.
+func (p Plan) Validate(net *topology.Network) error {
+	for i, s := range p {
+		if err := p.validateSpec(net, s); err != nil {
+			return fmt.Errorf("faults: spec %d (%v on %q): %w", i, s.Kind, s.Target, err)
+		}
+	}
+	for i := 0; i < len(p); i++ {
+		for j := i + 1; j < len(p); j++ {
+			a, b := p[i], p[j]
+			if a.Kind != PacketLoss || b.Kind != PacketLoss || a.Target != b.Target {
+				continue
+			}
+			if a.Start < b.Start+b.Duration && b.Start < a.Start+a.Duration {
+				return fmt.Errorf("faults: specs %d and %d: overlapping packet-loss windows on %q", i, j, a.Target)
+			}
+		}
+	}
+	return nil
+}
+
+func (p Plan) validateSpec(net *topology.Network, s Spec) error {
+	if s.Start < 0 {
+		return fmt.Errorf("negative start %v", s.Start)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("non-positive duration %v", s.Duration)
+	}
+	hostTarget := func() error {
+		if _, ok := net.Hosts[s.Target]; !ok {
+			return fmt.Errorf("no such host")
+		}
+		return nil
+	}
+	switch s.Kind {
+	case LinkFlap:
+		if err := hostTarget(); err != nil {
+			return err
+		}
+		if s.FlapCount < 0 {
+			return fmt.Errorf("negative flap count %d", s.FlapCount)
+		}
+	case PacketLoss:
+		if err := hostTarget(); err != nil {
+			return err
+		}
+		if s.LossRate <= 0 || s.LossRate >= 1 {
+			return fmt.Errorf("loss rate %g outside (0, 1)", s.LossRate)
+		}
+	case PauseStorm:
+		if err := hostTarget(); err != nil {
+			return err
+		}
+		if s.Priority >= packet.NumPriorities {
+			return fmt.Errorf("priority %d out of range", s.Priority)
+		}
+	case SlowReceiver:
+		if err := hostTarget(); err != nil {
+			return err
+		}
+		if s.DrainRate <= 0 {
+			return fmt.Errorf("non-positive drain rate")
+		}
+	case SwitchMisconfig:
+		if _, ok := net.Switches[s.Target]; !ok {
+			return fmt.Errorf("no such switch")
+		}
+		if s.Beta < 0 || s.StaticPFCThreshold < 0 || s.KMin < 0 || s.KMax < 0 || s.PMax < 0 {
+			return fmt.Errorf("negative override")
+		}
+		// Zero means "leave this parameter alone"; the comparison asks
+		// "is the field literally unset", so bit-identity is the intent.
+		if math.Float64bits(s.Beta) == 0 && s.StaticPFCThreshold == 0 &&
+			s.KMin == 0 && s.KMax == 0 && math.Float64bits(s.PMax) == 0 {
+			return fmt.Errorf("no override set")
+		}
+	default:
+		return fmt.Errorf("unknown kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// Outcome records what one armed fault actually did, for per-fault
+// metrics in the chaos scenarios' artifacts.
+type Outcome struct {
+	// Index is the spec's position in the plan.
+	Index int
+	// Kind and Target identify the fault.
+	Kind   Kind
+	Target string
+	// ActivatedAt and ClearedAt bracket the observed active window.
+	ActivatedAt simtime.Time
+	ClearedAt   simtime.Time
+	// Active reports a fault still in force (the run ended inside its
+	// window).
+	Active bool
+	// Injected is the kind-specific damage count: frames dropped
+	// (LinkFlap, PacketLoss) or XOFF frames emitted (PauseStorm); zero
+	// for SlowReceiver and SwitchMisconfig, whose damage is indirect.
+	Injected int64
+}

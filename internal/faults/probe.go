@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"dcqcn/internal/engine"
+	"dcqcn/internal/simtime"
+)
+
+// Probe samples a monotonically non-decreasing byte counter on a fixed
+// period and records per-window average rates, giving chaos scenarios a
+// time series to measure collapse depth and recovery latency around a
+// fault window. Sampling is itself an engine event chain, so a probe is
+// deterministic like everything else; it never draws randomness.
+type Probe struct {
+	times []simtime.Time // window end times
+	rates []simtime.Rate // mean rate over the window ending at times[i]
+	stop  func()
+}
+
+// NewProbe starts sampling bytes() every period, beginning one period
+// from now. bytes must be monotonically non-decreasing (a cumulative
+// counter such as acknowledged payload bytes).
+func NewProbe(sim *engine.Sim, period simtime.Duration, bytes func() int64) *Probe {
+	if period <= 0 {
+		panic("faults: probe period must be positive")
+	}
+	p := &Probe{}
+	last := bytes()
+	p.stop = sim.Ticker(period, func(now simtime.Time) {
+		cur := bytes()
+		p.times = append(p.times, now)
+		p.rates = append(p.rates, simtime.RateFromBytes(cur-last, period))
+		last = cur
+	})
+	return p
+}
+
+// Stop halts sampling; recorded windows remain readable.
+func (p *Probe) Stop() { p.stop() }
+
+// Windows reports how many sample windows have been recorded.
+func (p *Probe) Windows() int { return len(p.times) }
+
+// MeanRate averages the windows whose end time falls in (from, to].
+// Returns 0 when no window ends in the range.
+func (p *Probe) MeanRate(from, to simtime.Time) simtime.Rate {
+	var sum float64
+	n := 0
+	for i, t := range p.times {
+		if t > from && t <= to {
+			sum += float64(p.rates[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return simtime.Rate(sum / float64(n))
+}
+
+// MinRate returns the smallest window rate with end time in (from, to],
+// i.e. the depth of a collapse inside the range. Returns 0 when no
+// window ends in the range.
+func (p *Probe) MinRate(from, to simtime.Time) simtime.Rate {
+	min := simtime.Rate(-1)
+	for i, t := range p.times {
+		if t > from && t <= to && (min < 0 || p.rates[i] < min) {
+			min = p.rates[i]
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// RecoveryTime returns how long after `after` the probed rate first
+// reached threshold — the first qualifying window's end time minus
+// `after` — and whether that happened within the recorded series.
+func (p *Probe) RecoveryTime(after simtime.Time, threshold simtime.Rate) (simtime.Duration, bool) {
+	for i, t := range p.times {
+		if t <= after {
+			continue
+		}
+		if p.rates[i] >= threshold {
+			return t.Sub(after), true
+		}
+	}
+	return 0, false
+}

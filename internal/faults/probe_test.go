@@ -1,0 +1,77 @@
+package faults_test
+
+import (
+	"math"
+	"testing"
+
+	"dcqcn/internal/engine"
+	"dcqcn/internal/faults"
+	"dcqcn/internal/simtime"
+)
+
+func approxRate(t *testing.T, what string, got, want simtime.Rate) {
+	t.Helper()
+	if math.Abs(float64(got-want)) > 1e-6*math.Max(1, math.Abs(float64(want))) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+// TestProbeWindows feeds a synthetic byte counter through a probe: 1 KB
+// per window for 5 windows, nothing for 3 (the "fault"), then 2 KB per
+// window — and checks the mean/min/recovery arithmetic.
+func TestProbeWindows(t *testing.T) {
+	sim := engine.New(1)
+	period := simtime.Millisecond
+	var bytes int64
+	for w := 0; w < 10; w++ {
+		var add int64
+		switch {
+		case w < 5:
+			add = 1000
+		case w < 8:
+			add = 0
+		default:
+			add = 2000
+		}
+		// Deliver the window's bytes just before its sample tick.
+		at := simtime.Time(period)*simtime.Time(w) + simtime.Time(period)/2
+		inc := add
+		sim.At(at, func() { bytes += inc })
+	}
+	p := faults.NewProbe(sim, period, func() int64 { return bytes })
+	sim.Run(simtime.Time(10 * period))
+
+	if p.Windows() != 10 {
+		t.Fatalf("recorded %d windows, want 10", p.Windows())
+	}
+	perKB := simtime.RateFromBytes(1000, period)
+	approxRate(t, "baseline mean", p.MeanRate(0, simtime.Time(5*period)), perKB)
+	approxRate(t, "fault-window mean", p.MeanRate(simtime.Time(5*period), simtime.Time(8*period)), 0)
+	approxRate(t, "recovered mean", p.MeanRate(simtime.Time(8*period), simtime.Time(10*period)), 2*perKB)
+	approxRate(t, "min over run", p.MinRate(0, simtime.Time(10*period)), 0)
+	approxRate(t, "min over baseline", p.MinRate(0, simtime.Time(5*period)), perKB)
+
+	// Recovery: first window ending after t=8ms at >= 1 KB/ms is the one
+	// ending at 9ms.
+	rec, ok := p.RecoveryTime(simtime.Time(8*period), perKB)
+	if !ok || rec != period {
+		t.Fatalf("RecoveryTime = %v, %v; want %v, true", rec, ok, period)
+	}
+	if _, ok := p.RecoveryTime(simtime.Time(5*period), 3*perKB); ok {
+		t.Fatal("RecoveryTime found a window above an unreached threshold")
+	}
+
+	// MeanRate over an empty range is 0, not NaN.
+	approxRate(t, "empty range", p.MeanRate(simtime.Time(20*period), simtime.Time(30*period)), 0)
+}
+
+func TestProbeStop(t *testing.T) {
+	sim := engine.New(1)
+	var bytes int64
+	p := faults.NewProbe(sim, simtime.Millisecond, func() int64 { return bytes })
+	sim.At(simtime.Time(3*simtime.Millisecond)+1, func() { p.Stop() })
+	sim.RunAll()
+	if p.Windows() != 3 {
+		t.Fatalf("stopped probe recorded %d windows, want 3", p.Windows())
+	}
+}

@@ -309,6 +309,23 @@ type Link struct {
 	lossRate float64
 	// Lost counts frames dropped by loss injection.
 	Lost int64
+
+	// down models a failed cable (fault injection): while set, every
+	// frame entering the link is lost, and frames already propagating
+	// when the link went down never arrive (their photons died with the
+	// cable). epoch increments on every state change so in-flight
+	// deliveries can detect that a flap happened under them.
+	down  bool
+	epoch uint64
+	// DropHook, if set, is consulted for every frame entering the link
+	// (after the down check, before random loss); returning true drops
+	// the frame. The fault-injection subsystem uses it for targeted,
+	// auxiliary-RNG-driven loss and corruption, so the simulation's
+	// primary random stream stays untouched.
+	DropHook func(from *Port, pkt *packet.Packet) bool
+	// FaultDrops counts frames dropped by injected faults (down links,
+	// flap transients and DropHook), separately from random Lost frames.
+	FaultDrops int64
 }
 
 // Connect wires ports a and b with the given one-way propagation delay.
@@ -335,12 +352,48 @@ func (l *Link) deliver(from *Port, pkt *packet.Packet) {
 	if from == l.a {
 		to = l.b
 	}
+	if l.down {
+		l.FaultDrops++
+		return
+	}
+	if l.DropHook != nil && l.DropHook(from, pkt) {
+		l.FaultDrops++
+		return
+	}
 	if l.lossRate > 0 && !pkt.IsControl() && l.sim.Rand().Float64() < l.lossRate {
 		l.Lost++
 		return
 	}
-	l.sim.After(l.delay, func() { to.receive(pkt) })
+	epoch := l.epoch
+	l.sim.After(l.delay, func() {
+		// A flap while the frame was propagating kills it, even if the
+		// link is back up by the time the last bit would have arrived.
+		if l.epoch != epoch {
+			l.FaultDrops++
+			return
+		}
+		to.receive(pkt)
+	})
 }
+
+// SetDown fails (true) or restores (false) the cable. Going down drops
+// all frames currently propagating; coming back up re-kicks both ports,
+// whose egress queues kept filling while the cable was dead (transmit
+// is not inhibited by a down link — the device does not know).
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	l.epoch++
+	if !down {
+		l.a.Kick()
+		l.b.Kick()
+	}
+}
+
+// IsDown reports whether the link is currently failed.
+func (l *Link) IsDown() bool { return l.down }
 
 // SetLossRate enables random frame corruption on the link with the given
 // per-frame probability (both directions). Use 0 to disable.

@@ -342,12 +342,31 @@ func (n *NIC) onDeparture(p *packet.Packet) {
 	}
 }
 
+// SetRxProcessingRate changes the receive-pipeline drain rate at run
+// time — the slow-receiver fault of the chaos suite (a host whose DMA
+// or PCIe path degrades mid-run, driving sustained PFC). Zero restores
+// an unconstrained pipeline; packets already queued still drain first,
+// in order, so the transition never reorders delivery.
+func (n *NIC) SetRxProcessingRate(r simtime.Rate) {
+	if r < 0 {
+		panic(fmt.Sprintf("nic %s: negative rx processing rate", n.Name))
+	}
+	n.cfg.RxProcessingRate = r
+	n.rxKick()
+}
+
+// DataPriority returns the PFC class this NIC's data rides on (exposed
+// for fault targeting: a pause storm asserts XOFF on this class).
+func (n *NIC) DataPriority() uint8 { return n.dataPriority() }
+
 // HandlePacket implements link.Receiver. With an unconstrained receive
 // pipeline packets are consumed immediately; with RxProcessingRate set,
 // they pass through the bounded receive buffer first, generating PFC
-// toward the ToR when it backlogs.
+// toward the ToR when it backlogs. Packets also take the queued path
+// while earlier arrivals are still draining (a just-cleared slow-receiver
+// fault), preserving delivery order across the rate change.
 func (n *NIC) HandlePacket(p *packet.Packet, _ *link.Port) {
-	if n.cfg.RxProcessingRate > 0 {
+	if n.cfg.RxProcessingRate > 0 || n.rxBusy || len(n.rxQueue) > 0 {
 		n.rxEnqueue(p)
 		return
 	}
@@ -381,7 +400,13 @@ func (n *NIC) rxKick() {
 	p := n.rxQueue[0]
 	n.rxQueue = n.rxQueue[1:]
 	n.rxBusy = true
-	n.sim.After(n.cfg.RxProcessingRate.TxTime(p.Size), func() {
+	// Rate zero means the pipeline constraint was lifted mid-run: drain
+	// the residue with zero-delay events to keep ordering.
+	var drain simtime.Duration
+	if n.cfg.RxProcessingRate > 0 {
+		drain = n.cfg.RxProcessingRate.TxTime(p.Size)
+	}
+	n.sim.After(drain, func() {
 		n.rxBusy = false
 		n.rxBacklog -= int64(p.Size)
 		if n.rxPausing && n.rxBacklog <= max(n.cfg.RxPFCThreshold-2*packet.MaxFrameBytes, 0) {

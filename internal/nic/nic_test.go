@@ -316,3 +316,65 @@ func TestInvalidDataPriorityRejected(t *testing.T) {
 	}()
 	_ = New(engine.New(1), 1, "bad", cfg)
 }
+
+// TestCloseDuringNackStormDrainsPending is the teardown-leak regression
+// test: a flow closed in the middle of go-back-N recovery (a steady NACK
+// storm from a lossy uplink) must leave nothing behind in the event
+// queue. Before the stopped latch in rocev2.Sender, a late NACK arriving
+// after Close would re-arm the RTO, and onRTO re-arms itself while data
+// is pending — an eternally self-rescheduling event that keeps
+// sim.Pending() above zero forever.
+func TestCloseDuringNackStormDrainsPending(t *testing.T) {
+	sim := engine.New(7)
+	sw := fabric.New(sim, 1000, "sw", 2, fabric.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Transport.RTO = 500 * simtime.Microsecond
+	var nics []*NIC
+	var links []*link.Link
+	for i := 0; i < 2; i++ {
+		nc := New(sim, packet.NodeID(i+1), "nic", cfg)
+		l := link.Connect(sim, nc.Port(), sw.Port(i), 500*simtime.Nanosecond)
+		sw.AddRoute(nc.ID, i)
+		nics = append(nics, nc)
+		links = append(links, l)
+	}
+	// Drop every 5th data frame leaving the sender: enough to keep the
+	// receiver NACKing continuously without starving the flow outright.
+	senderPort := nics[0].Port()
+	var nth int
+	links[0].DropHook = func(from *link.Port, pkt *packet.Packet) bool {
+		if from != senderPort || pkt.IsControl() {
+			return false
+		}
+		nth++
+		return nth%5 == 0
+	}
+	flow := nics[0].OpenFlow(2)
+	flow.PostMessage(64*1000*1000, func(rocev2.Completion) {})
+	sim.Run(simtime.Time(2 * simtime.Millisecond))
+
+	st := flow.Stats()
+	if st.NacksReceived == 0 {
+		t.Fatal("no NACKs after 2ms on a 20% lossy link; storm never formed")
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmits mid-storm; recovery path not exercised")
+	}
+	flow.Close()
+	atClose := flow.Stats()
+
+	// Give in-flight frames and their (now-ignored) feedback ample time
+	// to drain, covering many RTO periods. A leaked timer would still be
+	// pending at the horizon; a healthy teardown leaves the queue empty.
+	sim.Run(simtime.Time(50 * simtime.Millisecond))
+	if p := sim.Pending(); p != 0 {
+		t.Fatalf("%d events still pending 48ms after Close; timer leak", p)
+	}
+	after := flow.Stats()
+	if after.Timeouts != atClose.Timeouts {
+		t.Fatalf("RTO fired after Close: %d -> %d timeouts", atClose.Timeouts, after.Timeouts)
+	}
+	if after.PacketsSent != atClose.PacketsSent {
+		t.Fatalf("packets sent after Close: %d -> %d", atClose.PacketsSent, after.PacketsSent)
+	}
+}

@@ -142,13 +142,14 @@ func (c Completion) Throughput() simtime.Rate {
 
 // SenderStats counts sender-side transport activity.
 type SenderStats struct {
-	PacketsSent   int64
-	BytesSent     int64 // wire bytes, including retransmissions
-	PayloadAcked  int64 // goodput bytes
-	Retransmits   int64 // packets sent more than once (go-back-N cost)
-	Timeouts      int64 // RTO firings
-	NacksReceived int64
-	Completions   int64
+	PacketsSent     int64
+	BytesSent       int64 // wire bytes, including retransmissions
+	PayloadAcked    int64 // goodput bytes
+	Retransmits     int64 // packets sent more than once (go-back-N cost)
+	RetransmitBytes int64 // wire bytes of those resends (fault-recovery cost)
+	Timeouts        int64 // RTO firings
+	NacksReceived   int64
+	Completions     int64
 }
 
 // Sender is the send half of a queue pair.
@@ -170,6 +171,10 @@ type Sender struct {
 	// onWake, set by the NIC, is called when the sender transitions from
 	// blocked (no data / window full) to sendable, so pacing can resume.
 	onWake func()
+	// stopped latches on Stop: a torn-down QP must never re-arm its RTO
+	// or wake the pacer again, even if late ACKs/NAKs from the fabric
+	// are still fed in.
+	stopped bool
 
 	Stats SenderStats
 }
@@ -232,6 +237,7 @@ func (s *Sender) BuildNext() *packet.Packet {
 	pkt.SentAt = s.clock.Now()
 	if s.nextPSN < s.maxSent {
 		s.Stats.Retransmits++
+		s.Stats.RetransmitBytes += int64(pkt.Size)
 	}
 	s.nextPSN++
 	if s.nextPSN > s.maxSent {
@@ -290,13 +296,21 @@ func (s *Sender) OnNack(expected int64) {
 	}
 }
 
-// Stop tears the QP down, cancelling timers.
+// Stop tears the QP down, cancelling timers. After Stop, late feedback
+// (ACKs, NAKs) may still be fed in but can no longer arm timers or wake
+// the pacer — without this latch, an OnNack arriving after teardown
+// would re-arm the RTO, and onRTO re-arms itself while data is pending,
+// leaking an eternally self-rescheduling event.
 func (s *Sender) Stop() {
+	s.stopped = true
 	s.cancelRTOTimer()
 	s.Controller.Stop()
 }
 
 func (s *Sender) wake() {
+	if s.stopped {
+		return
+	}
 	if s.onWake != nil {
 		s.onWake()
 	}
@@ -312,6 +326,9 @@ func (s *Sender) messageFor(psn int64) *message {
 }
 
 func (s *Sender) armRTO() {
+	if s.stopped {
+		return
+	}
 	s.cancelRTOTimer()
 	s.cancelRTO = s.clock.After(s.cfg.RTO, s.onRTO)
 }

@@ -376,3 +376,44 @@ func TestFixedRateController(t *testing.T) {
 		t.Fatal("fixed rate changed")
 	}
 }
+
+// TestStopLatchesTimers pins the teardown contract: Stop cancels the RTO
+// and latches the sender so late fabric feedback — ACKs and NAKs still
+// in flight when the QP is torn down — can neither re-arm timers nor
+// wake the pacer. This is the unit-level half of the mid-recovery close
+// regression (the NIC-level half closes a flow during a NACK storm and
+// asserts the event queue drains).
+func TestStopLatchesTimers(t *testing.T) {
+	cfg := DefaultConfig()
+	s, clock := newSender(cfg)
+	s.PostMessage(8*int64(cfg.MTU), nil)
+	for i := 0; i < 4; i++ {
+		s.BuildNext()
+	}
+	if clock.Pending() == 0 {
+		t.Fatal("sending data armed no RTO")
+	}
+	s.Stop()
+	if n := clock.Pending(); n != 0 {
+		t.Fatalf("Stop left %d timers armed", n)
+	}
+
+	// Late feedback after teardown: a NACK mid-recovery and a partial ACK.
+	woke := false
+	s.SetWakeFunc(func() { woke = true })
+	s.OnNack(2)
+	s.OnAck(3)
+	if n := clock.Pending(); n != 0 {
+		t.Fatalf("late feedback re-armed %d timers after Stop", n)
+	}
+	if woke {
+		t.Fatal("late feedback woke the pacer after Stop")
+	}
+
+	// Nothing latent: advancing far past the RTO fires nothing.
+	before := s.Stats.Timeouts
+	clock.Advance(10 * cfg.RTO)
+	if s.Stats.Timeouts != before {
+		t.Fatalf("timeouts accrued after Stop: %d -> %d", before, s.Stats.Timeouts)
+	}
+}

@@ -298,6 +298,33 @@ func NewStar(seed int64, hosts int, opts Options) *Network {
 	return n
 }
 
+// NewRing builds n switches R1..Rn wired in a cycle, with one host
+// H1..Hn attached to each. Shortest-path ECMP routing reaches a host k
+// hops away over both ring directions when equidistant, so multi-hop
+// flows exist whose buffer dependencies can close into a cycle — the
+// cyclic-buffer-dependency topology that up-down routing on a Clos
+// forbids by construction. The deadlock chaos probe runs here: pause
+// storms or slow receivers on the hosts back traffic up around the
+// ring until fabric.DetectPauseDeadlock finds a real wait cycle.
+func NewRing(seed int64, n int, opts Options) *Network {
+	if n < 3 {
+		panic("topology: ring needs at least 3 switches")
+	}
+	net := NewNetwork(seed, opts)
+	sws := make([]*fabric.Switch, n)
+	for i := range sws {
+		sws[i] = net.AddSwitch(fmt.Sprintf("R%d", i+1), 4)
+	}
+	for i := range sws {
+		net.ConnectSwitches(sws[i], sws[(i+1)%n])
+	}
+	for i := range sws {
+		net.AddHost(fmt.Sprintf("H%d", i+1), sws[i])
+	}
+	net.ComputeRoutes()
+	return net
+}
+
 // NewFatTree builds a k-ary fat tree (Al-Fares et al.): k pods each with
 // k/2 edge and k/2 aggregation switches, (k/2)² core switches, and k/2
 // hosts per edge switch — k³/4 hosts total. k must be even and >= 2.
