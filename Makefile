@@ -1,8 +1,9 @@
 # Developer entry points. `make check` is the pre-PR gate: formatting,
-# vet, the determinism-contract linters, a full build, and the test
-# suite under the race detector. The sweep smoke target exercises the
-# parallel harness end to end (all scenarios in short mode, determinism
-# gate on) and leaves its artifacts in sweep-out/.
+# vet, the contract linters, a full build, the test suite under the
+# race detector, and the invariants-tagged suite with the conservation
+# auditor armed. The sweep smoke target exercises the parallel harness
+# end to end (all scenarios in short mode, determinism gate on) and
+# leaves its artifacts in sweep-out/.
 
 GO ?= go
 
@@ -10,9 +11,9 @@ GO ?= go
 # same code (testdata fixtures are excluded by pattern expansion).
 PKGS ?= ./...
 
-.PHONY: check fmt vet lint build test race faults bench sweep-smoke sweep chaos clean
+.PHONY: check fmt vet lint build test race faults invariants bench sweep-smoke sweep chaos clean
 
-check: fmt vet lint build faults race
+check: fmt vet lint build faults race invariants
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,8 +22,9 @@ fmt:
 vet:
 	$(GO) vet $(PKGS)
 
-# Determinism-contract static analysis (internal/lint): walltime,
-# globalrand, maporder, floateq, simtime. Suppressions live in lint.json.
+# Contract static analysis (internal/lint). Determinism family:
+# walltime, globalrand, maporder, floateq, simtime. Physics family:
+# noconc, eventpast, acctfield. Suppressions live in lint.json.
 lint:
 	$(GO) run ./cmd/dcqcn-lint $(PKGS)
 
@@ -40,6 +42,16 @@ race:
 # explicitly in the failure output and gives a fast local gate.
 faults:
 	$(GO) test -race ./internal/faults/...
+
+# Physics contract at runtime: the whole suite with the conservation
+# auditor compiled in (internal/invariant, DESIGN.md §9) — which also
+# re-verifies every golden digest with the auditor armed inside the
+# chaos scenarios — then a chaos smoke in the tagged build so the
+# auditor watches a real fault-injection sweep end to end.
+invariants:
+	$(GO) test -tags invariants ./...
+	$(GO) run -tags invariants ./cmd/dcqcn-sweep -scenario 'chaos-*' -seeds 1 \
+		-parallel 0 -check-determinism -quiet -out chaos-out
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkSweep -benchtime=1x .

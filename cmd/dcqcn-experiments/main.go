@@ -27,6 +27,7 @@ import (
 	"dcqcn/internal/buffercalc"
 	"dcqcn/internal/experiments"
 	"dcqcn/internal/harness"
+	"dcqcn/internal/invariant"
 )
 
 type experiment struct {
@@ -179,6 +180,9 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)
 		}
 		return
+	}
+	if invariant.Enabled {
+		fmt.Println("invariants auditor: armed (built with -tags invariants)")
 	}
 	ran := 0
 	for _, e := range exps {

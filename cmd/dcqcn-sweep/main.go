@@ -30,6 +30,7 @@ import (
 
 	"dcqcn/internal/experiments"
 	"dcqcn/internal/harness"
+	"dcqcn/internal/invariant"
 )
 
 func main() {
@@ -153,6 +154,9 @@ func main() {
 		len(res.Records), res.TotalEvents, res.Wall.Seconds())
 	if *checkDet {
 		fmt.Println("determinism gate: PASS (identical digests across reruns)")
+	}
+	if invariant.Enabled {
+		fmt.Println("invariants auditor: armed (built with -tags invariants); no violations")
 	}
 	if prov.Speedup > 0 {
 		fmt.Printf("speedup vs sequential: %.2fx (%.1fs -> %.1fs)\n",

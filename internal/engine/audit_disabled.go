@@ -1,0 +1,9 @@
+//go:build !invariants
+
+package engine
+
+import "dcqcn/internal/simtime"
+
+// auditPop is a no-op outside -tags invariants builds; the call in the
+// run loop inlines away.
+func (s *Sim) auditPop(simtime.Time) {}

@@ -1,0 +1,20 @@
+//go:build invariants
+
+package engine
+
+import (
+	"fmt"
+
+	"dcqcn/internal/simtime"
+)
+
+// auditPop asserts the arrow of time at the run loop itself: a popped
+// event must never precede the clock. At and After already reject past
+// scheduling at the call site, so a violation here means the queue's
+// ordering broke (heap corruption, a mutated Event.At). Compiled only
+// under -tags invariants; release builds pay nothing.
+func (s *Sim) auditPop(at simtime.Time) {
+	if at < s.now {
+		panic(fmt.Sprintf("engine: invariant violation: popped event at %v behind clock %v", at, s.now))
+	}
+}

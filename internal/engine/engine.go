@@ -133,6 +133,7 @@ func (s *Sim) Run(until simtime.Time) uint64 {
 			break
 		}
 		e := s.queue.Pop()
+		s.auditPop(e.At)
 		s.now = e.At
 		s.events++
 		s.mix(uint64(e.At))
@@ -160,6 +161,7 @@ func (s *Sim) RunAll() uint64 {
 		if e == nil {
 			break
 		}
+		s.auditPop(e.At)
 		s.now = e.At
 		s.events++
 		s.mix(uint64(e.At))

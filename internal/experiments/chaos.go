@@ -7,6 +7,7 @@ import (
 	"dcqcn/internal/fabric"
 	"dcqcn/internal/faults"
 	"dcqcn/internal/harness"
+	"dcqcn/internal/invariant"
 	"dcqcn/internal/nic"
 	"dcqcn/internal/rocev2"
 	"dcqcn/internal/simtime"
@@ -119,6 +120,7 @@ func ChaosPauseStormRun(mode Mode, run uint64, fid Fidelity) (harness.Metrics, e
 	opts := options(mode, run*7919+3)
 	net := topology.NewStar(int64(run)*104729+11, 4, opts)
 	tl := newChaosTimeline(fid)
+	aud := invariant.Attach(net)
 
 	in := faults.NewInjector(net, chaosAuxSeed)
 	mustArm(in, faults.Plan{{
@@ -136,6 +138,7 @@ func ChaosPauseStormRun(mode Mode, run uint64, fid Fidelity) (harness.Metrics, e
 
 	probe := payloadProbe(net, innocent, tl.period)
 	net.Sim.Run(tl.end)
+	aud.MustClean()
 
 	m := harness.Metrics{}
 	phaseMetrics(m, probe, tl, "innocent_")
@@ -177,6 +180,7 @@ func ChaosFlapIncastRun(flaps int, run uint64, fid Fidelity) (harness.Metrics, e
 	opts.NIC.Transport.RTO = 2 * simtime.Millisecond
 	net := topology.NewStar(int64(run)*104729+13, 9, opts)
 	tl := newChaosTimeline(fid)
+	aud := invariant.Attach(net)
 
 	in := faults.NewInjector(net, chaosAuxSeed)
 	mustArm(in, faults.Plan{{
@@ -205,6 +209,7 @@ func ChaosFlapIncastRun(flaps int, run uint64, fid Fidelity) (harness.Metrics, e
 		return sum
 	})
 	net.Sim.Run(tl.end)
+	aud.MustClean()
 
 	m := harness.Metrics{}
 	phaseMetrics(m, probe, tl, "flapped_")
@@ -247,6 +252,7 @@ func ChaosLossyLinkRun(lossRate float64, run uint64, fid Fidelity) (harness.Metr
 	opts.HostLinkDelay = 25 * simtime.Microsecond // loaded multi-hop RTT, as randomloss
 	net := topology.NewStar(int64(run)*104729+17, 2, opts)
 	tl := newChaosTimeline(fid)
+	aud := invariant.Attach(net)
 
 	in := faults.NewInjector(net, chaosAuxSeed)
 	mustArm(in, faults.Plan{{
@@ -263,6 +269,7 @@ func ChaosLossyLinkRun(lossRate float64, run uint64, fid Fidelity) (harness.Metr
 
 	probe := payloadProbe(net, flow, tl.period)
 	net.Sim.Run(tl.end)
+	aud.MustClean()
 
 	m := harness.Metrics{}
 	phaseMetrics(m, probe, tl, "flow_")
@@ -302,6 +309,7 @@ func ChaosVictimStormRun(mode Mode, run uint64, fid Fidelity) (harness.Metrics, 
 	opts := options(mode, run*7919+9)
 	net := topology.NewTestbed(int64(run)*104729+19, opts)
 	tl := newChaosTimeline(fid)
+	aud := invariant.Attach(net)
 
 	in := faults.NewInjector(net, chaosAuxSeed)
 	mustArm(in, faults.Plan{{
@@ -320,6 +328,7 @@ func ChaosVictimStormRun(mode Mode, run uint64, fid Fidelity) (harness.Metrics, 
 
 	probe := payloadProbe(net, victim, tl.period)
 	net.Sim.Run(tl.end)
+	aud.MustClean()
 
 	m := harness.Metrics{}
 	phaseMetrics(m, probe, tl, "victim_")
@@ -364,6 +373,7 @@ func ChaosDeadlockProbeRun(run uint64, fid Fidelity) (harness.Metrics, engine.Di
 	opts.NIC.Controller = nic.FixedRateFactory(10 * simtime.Gbps)
 	net := topology.NewRing(int64(run)*104729+23, 4, opts)
 	tl := newChaosTimeline(fid)
+	aud := invariant.Attach(net)
 
 	hosts := []string{"H1", "H2", "H3", "H4"}
 	in := faults.NewInjector(net, chaosAuxSeed)
@@ -400,6 +410,7 @@ func ChaosDeadlockProbeRun(run uint64, fid Fidelity) (harness.Metrics, engine.Di
 		}
 	})
 	net.Sim.Run(tl.end)
+	aud.MustClean()
 
 	m := harness.Metrics{}
 	if detectedAt >= 0 {

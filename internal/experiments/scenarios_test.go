@@ -149,6 +149,7 @@ func TestGoldenDigests(t *testing.T) {
 	}
 
 	mismatch := false
+	firstDiverged := ""
 	for _, name := range reg.Names() {
 		want, ok := goldenDigests[name]
 		switch {
@@ -156,9 +157,15 @@ func TestGoldenDigests(t *testing.T) {
 			t.Errorf("scenario %q has no golden digest", name)
 			mismatch = true
 		case got[name] != want:
-			t.Errorf("scenario %q digest = %s, want %s", name, got[name], want)
+			t.Errorf("scenario %q: %s", name, diagnoseDigest(got[name], want))
+			if firstDiverged == "" {
+				firstDiverged = name
+			}
 			mismatch = true
 		}
+	}
+	if firstDiverged != "" {
+		t.Logf("first diverging scenario in registration order: %q — rerun it alone with `go test -run TestGoldenDigests` after re-pinning, or bisect the model change against it", firstDiverged)
 	}
 	for name := range goldenDigests {
 		if _, ok := got[name]; !ok {
@@ -173,4 +180,40 @@ func TestGoldenDigests(t *testing.T) {
 		}
 		t.Logf("replacement golden table:\n%s", b.String())
 	}
+}
+
+func TestDiagnoseDigest(t *testing.T) {
+	cases := []struct {
+		got, want, fragment string
+	}{
+		{"100:aa", "90:aa", "event count diverged"},
+		{"100:aa", "100:bb", "same event count"},
+		{"garbage", "100:aa", "digest = garbage"},
+	}
+	for _, c := range cases {
+		if msg := diagnoseDigest(c.got, c.want); !strings.Contains(msg, c.fragment) {
+			t.Errorf("diagnoseDigest(%q, %q) = %q, want fragment %q", c.got, c.want, msg, c.fragment)
+		}
+	}
+}
+
+// diagnoseDigest turns a raw "events:hash" mismatch into a statement of
+// *how* the run diverged: a different event count means the simulation
+// did different work (events appeared, vanished, or reordered into a
+// different cascade), while an identical count with a different hash
+// means the same number of events fired but some event's time or
+// sequence diverged — typically a payload or ordering change, not a
+// structural one. That distinction is the first thing a bisection needs.
+func diagnoseDigest(got, want string) string {
+	gotEvents, gotHash, okG := strings.Cut(got, ":")
+	wantEvents, wantHash, okW := strings.Cut(want, ":")
+	if !okG || !okW {
+		return fmt.Sprintf("digest = %s, want %s", got, want)
+	}
+	if gotEvents != wantEvents {
+		return fmt.Sprintf("event count diverged: ran %s events, golden has %s (digest %s, want %s)",
+			gotEvents, wantEvents, got, want)
+	}
+	return fmt.Sprintf("same event count (%s) but event-stream hash diverged: %s, want %s — timing or ordering changed without altering the event total",
+		gotEvents, gotHash, wantHash)
 }

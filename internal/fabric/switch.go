@@ -94,9 +94,17 @@ type Switch struct {
 	// routes maps destination node -> candidate egress ports (ECMP set).
 	routes map[packet.NodeID][]int
 
-	occupied int64 // shared-buffer bytes currently held
-	ingress  [][packet.NumPriorities]int64
-	pausing  [][packet.NumPriorities]bool
+	//acct: shared-buffer bytes currently held
+	occupied int64
+	//acct: shared-buffer bytes per (ingress port, priority)
+	ingress [][packet.NumPriorities]int64
+	pausing [][packet.NumPriorities]bool
+	// acct tracks lifetime bytes through the shared buffer per ingress
+	// port; the invariant auditor checks admitted == departed + buffered
+	// and wireIn == admitted + dropped + PFC control bytes at every
+	// departure (under -tags invariants).
+	//acct: lifetime admitted/departed/dropped bytes per ingress port
+	acct []PortAccounting
 
 	// Sampler, if set, observes data packets at egress enqueue time and
 	// may return a feedback packet (used by the QCN baseline); the switch
@@ -121,6 +129,7 @@ func New(sim *engine.Sim, id packet.NodeID, name string, nPorts int, cfg Config)
 		routes:  make(map[packet.NodeID][]int),
 		ingress: make([][packet.NumPriorities]int64, nPorts),
 		pausing: make([][packet.NumPriorities]bool, nPorts),
+		acct:    make([]PortAccounting, nPorts),
 	}
 	for i := 0; i < nPorts; i++ {
 		port := link.NewPort(sim, fmt.Sprintf("%s.p%d", name, i), i, cfg.Spec.LineRate, sw)
@@ -150,6 +159,20 @@ func (s *Switch) AddRoute(dst packet.NodeID, ports ...int) {
 
 // Occupied returns the shared-buffer bytes currently held.
 func (s *Switch) Occupied() int64 { return s.occupied }
+
+// PortAccounting is the lifetime byte ledger of one ingress port:
+// every data byte the port's wire delivered was either admitted to the
+// shared buffer or dropped, and every admitted byte is eventually
+// departed; AdmittedBytes − DepartedBytes is the port's share of the
+// buffer right now.
+type PortAccounting struct {
+	AdmittedBytes int64
+	DepartedBytes int64
+	DroppedBytes  int64
+}
+
+// Accounting returns the lifetime byte ledger of ingress port i.
+func (s *Switch) Accounting(i int) PortAccounting { return s.acct[i] }
 
 // IngressQueue returns the bytes accounted to one ingress (port,
 // priority) queue.
@@ -211,6 +234,7 @@ func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 	if s.occupied+int64(p.Size) > s.cfg.Spec.BufferBytes {
 		s.Stats.Drops++
 		in.Stats.Drops++
+		s.acct[in.Index].DroppedBytes += int64(p.Size)
 		return
 	}
 	if !s.cfg.PFCEnabled && s.cfg.EgressAlpha > 0 {
@@ -219,6 +243,7 @@ func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 			if s.ports[out].QueuedBytes(p.Priority) > limit {
 				s.Stats.Drops++
 				in.Stats.Drops++
+				s.acct[in.Index].DroppedBytes += int64(p.Size)
 				return
 			}
 		}
@@ -228,6 +253,7 @@ func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 		s.Stats.MaxOccupied = s.occupied
 	}
 	s.ingress[in.Index][p.Priority] += int64(p.Size)
+	s.acct[in.Index].AdmittedBytes += int64(p.Size)
 	p.InPort = int32(in.Index)
 
 	if s.cfg.PFCEnabled {
@@ -274,6 +300,7 @@ func (s *Switch) onDeparture(p *packet.Packet) {
 	s.occupied -= int64(p.Size)
 	inPort := int(p.InPort)
 	s.ingress[inPort][p.Priority] -= int64(p.Size)
+	s.acct[inPort].DepartedBytes += int64(p.Size)
 	if s.cfg.PFCEnabled && s.pausing[inPort][p.Priority] {
 		resumeAt := s.pfcThreshold() - 2*s.cfg.Spec.MTUBytes
 		if s.ingress[inPort][p.Priority] <= max(resumeAt, 0) {

@@ -16,6 +16,12 @@ import (
 // auxiliary RNG stream, so the run's primary random stream — and with it
 // the model's event digest — is exactly what it would be for the same
 // seed without the lossy fault present drawing from it.
+//
+// Hook ownership: the injector owns link.Link.DropHook outright — it
+// installs and clears it per loss window without chaining. Passive
+// observers (the internal/invariant auditor) therefore must not use
+// DropHook; they observe through link.Port.OnRx/OnDeparture, which the
+// injector never touches.
 type Injector struct {
 	net      *topology.Network
 	rng      *rand.Rand

@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"dcqcn/internal/invariant"
 )
 
 // Artifact file names within an output directory.
@@ -23,19 +25,23 @@ const (
 // wall-clock cost. It is written alongside the data so a summary.json is
 // never an orphan number.
 type Provenance struct {
-	SchemaVersion int      `json:"schema_version"`
-	Tool          string   `json:"tool"`
-	StartedAt     string   `json:"started_at"`
-	GitCommit     string   `json:"git_commit"`
-	GoVersion     string   `json:"go_version"`
-	OS            string   `json:"os"`
-	Arch          string   `json:"arch"`
-	NumCPU        int      `json:"num_cpu"`
-	Parallel      int      `json:"parallel"`
-	Reruns        int      `json:"reruns"`
-	Determinism   bool     `json:"determinism_checked"`
-	Fidelity      string   `json:"fidelity"`
-	Scenarios     []string `json:"scenarios"`
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`
+	StartedAt     string `json:"started_at"`
+	GitCommit     string `json:"git_commit"`
+	GoVersion     string `json:"go_version"`
+	OS            string `json:"os"`
+	Arch          string `json:"arch"`
+	NumCPU        int    `json:"num_cpu"`
+	Parallel      int    `json:"parallel"`
+	Reruns        int    `json:"reruns"`
+	Determinism   bool   `json:"determinism_checked"`
+	// Invariants records whether the binary was built with -tags
+	// invariants, i.e. whether the conservation auditor was armed in
+	// every chaos run this sweep executed.
+	Invariants bool     `json:"invariants_armed"`
+	Fidelity   string   `json:"fidelity"`
+	Scenarios  []string `json:"scenarios"`
 	// Seeds maps scenario name to its seed list.
 	Seeds     map[string][]int64 `json:"seeds"`
 	TotalRuns int                `json:"total_runs"`
@@ -61,6 +67,7 @@ func NewProvenance(tool string) Provenance {
 		OS:            runtime.GOOS,
 		Arch:          runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		Invariants:    invariant.Enabled,
 		Seeds:         make(map[string][]int64),
 	}
 }

@@ -1,0 +1,27 @@
+//go:build !invariants
+
+package invariant
+
+import "dcqcn/internal/topology"
+
+// Enabled reports whether this binary was built with -tags invariants.
+const Enabled = false
+
+// Auditor is inert without -tags invariants: Attach installs no hooks
+// and every method is a no-op, so release builds pay nothing.
+type Auditor struct{}
+
+// Attach is a no-op without -tags invariants.
+func Attach(*topology.Network) *Auditor { return &Auditor{} }
+
+// Final reports no violations.
+func (*Auditor) Final() []Violation { return nil }
+
+// MustClean never panics.
+func (*Auditor) MustClean() {}
+
+// Violations reports no violations.
+func (*Auditor) Violations() []Violation { return nil }
+
+// Checks reports zero evaluations.
+func (*Auditor) Checks() int64 { return 0 }

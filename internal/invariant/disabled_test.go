@@ -1,0 +1,31 @@
+//go:build !invariants
+
+package invariant
+
+import (
+	"testing"
+
+	"dcqcn/internal/topology"
+)
+
+// TestDisabledNoOp pins the release-build contract: without -tags
+// invariants the auditor is inert — Attach installs nothing, every
+// method is safe to call, and Enabled is false so callers can record
+// provenance honestly.
+func TestDisabledNoOp(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled true in a build without -tags invariants")
+	}
+	net := topology.NewStar(1, 2, topology.DefaultOptions())
+	aud := Attach(net)
+	if net.Host("H1").Port().OnRx != nil {
+		t.Fatal("disabled Attach installed an OnRx hook")
+	}
+	aud.MustClean()
+	if vs := aud.Final(); vs != nil {
+		t.Fatalf("disabled Final returned %v", vs)
+	}
+	if aud.Checks() != 0 {
+		t.Fatal("disabled auditor counted checks")
+	}
+}

@@ -64,7 +64,8 @@ type Port struct {
 	link *Link
 	peer *Port
 
-	queues      [packet.NumPriorities]fifo
+	queues [packet.NumPriorities]fifo
+	//acct: bytes waiting in the egress FIFOs, one slot per priority
 	queuedBytes [packet.NumPriorities]int64
 	pausedUntil [packet.NumPriorities]simtime.Time
 	busy        bool
@@ -83,6 +84,12 @@ type Port struct {
 	// OnPFC, if set, observes PFC frames this port receives (after the
 	// pause state has been updated); used for experiment counters.
 	OnPFC func(p *packet.Packet)
+	// OnRx, if set, observes every packet whose last bit arrives at this
+	// port, before any processing — including PFC frames the port
+	// consumes itself. It is a strictly passive tap (the invariant
+	// auditor's attachment point): implementations must not schedule
+	// events, draw randomness, or mutate the packet.
+	OnRx func(p *packet.Packet)
 
 	Stats PortStats
 }
@@ -251,6 +258,9 @@ func (p *Port) Kick() { p.kick() }
 func (p *Port) receive(pkt *packet.Packet) {
 	p.Stats.RxPackets++
 	p.Stats.RxBytes += int64(pkt.Size)
+	if p.OnRx != nil {
+		p.OnRx(pkt)
+	}
 	switch pkt.Type {
 	case packet.Pause:
 		p.Stats.PauseRx++
@@ -308,7 +318,10 @@ type Link struct {
 	// failure (a misbehaving device) rather than bit errors.
 	lossRate float64
 	// Lost counts frames dropped by loss injection.
+	//acct: frames dropped by random loss
 	Lost int64
+	//acct: bytes dropped by random loss
+	lostBytes int64
 
 	// down models a failed cable (fault injection): while set, every
 	// frame entering the link is lost, and frames already propagating
@@ -325,7 +338,12 @@ type Link struct {
 	DropHook func(from *Port, pkt *packet.Packet) bool
 	// FaultDrops counts frames dropped by injected faults (down links,
 	// flap transients and DropHook), separately from random Lost frames.
+	//acct: frames dropped by injected faults
 	FaultDrops int64
+	//acct: bytes dropped by injected faults
+	faultDropBytes int64
+	//acct: bytes serialized onto the wire and not yet arrived or dropped
+	inFlight int64
 }
 
 // Connect wires ports a and b with the given one-way propagation delay.
@@ -346,6 +364,26 @@ func Connect(sim *engine.Sim, a, b *Port, delay simtime.Duration) *Link {
 // Delay returns the one-way propagation delay.
 func (l *Link) Delay() simtime.Duration { return l.delay }
 
+// Ports returns the link's two endpoints.
+func (l *Link) Ports() (*Port, *Port) { return l.a, l.b }
+
+// LostBytes returns the bytes dropped by random loss injection.
+func (l *Link) LostBytes() int64 { return l.lostBytes }
+
+// FaultDropBytes returns the bytes dropped by injected faults (down
+// links, flap transients and DropHook).
+func (l *Link) FaultDropBytes() int64 { return l.faultDropBytes }
+
+// InFlightBytes returns the bytes currently propagating on the wire:
+// serialized by a transmitter but not yet arrived (or retroactively
+// killed by a flap). Together with the port Tx/Rx byte counters and
+// the loss counters this closes the link conservation equation
+//
+//	aTx + bTx == aRx + bRx + LostBytes + FaultDropBytes + InFlightBytes
+//
+// which the invariant auditor checks at end of run.
+func (l *Link) InFlightBytes() int64 { return l.inFlight }
+
 // deliver schedules arrival of pkt at the far end of the link.
 func (l *Link) deliver(from *Port, pkt *packet.Packet) {
 	to := l.a
@@ -354,22 +392,28 @@ func (l *Link) deliver(from *Port, pkt *packet.Packet) {
 	}
 	if l.down {
 		l.FaultDrops++
+		l.faultDropBytes += int64(pkt.Size)
 		return
 	}
 	if l.DropHook != nil && l.DropHook(from, pkt) {
 		l.FaultDrops++
+		l.faultDropBytes += int64(pkt.Size)
 		return
 	}
 	if l.lossRate > 0 && !pkt.IsControl() && l.sim.Rand().Float64() < l.lossRate {
 		l.Lost++
+		l.lostBytes += int64(pkt.Size)
 		return
 	}
 	epoch := l.epoch
+	l.inFlight += int64(pkt.Size)
 	l.sim.After(l.delay, func() {
+		l.inFlight -= int64(pkt.Size)
 		// A flap while the frame was propagating kills it, even if the
 		// link is back up by the time the last bit would have arrived.
 		if l.epoch != epoch {
 			l.FaultDrops++
+			l.faultDropBytes += int64(pkt.Size)
 			return
 		}
 		to.receive(pkt)

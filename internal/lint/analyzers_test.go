@@ -33,3 +33,15 @@ func TestFloateq(t *testing.T) {
 func TestSimtime(t *testing.T) {
 	analysistest.Run(t, lint.Simtime, "simtimecheck/a")
 }
+
+func TestNoconc(t *testing.T) {
+	analysistest.Run(t, lint.Noconc, "noconc/model", "noconc/harness")
+}
+
+func TestEventpast(t *testing.T) {
+	analysistest.Run(t, lint.Eventpast, "eventpast/a")
+}
+
+func TestAcctfield(t *testing.T) {
+	analysistest.Run(t, lint.Acctfield, "acctfield/a")
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// Eventpast guards the scheduler's arrow of time. engine.Sim.At panics
+// on times before now and After panics on negative delays, but by then
+// a sweep is already dead at run time; the common source is a raw
+// subtraction (deadline - elapsed, t - rtt) or a negated duration
+// passed straight through. The analyzer flags call sites of schedule-
+// shaped methods (At / After / Schedule, first parameter simtime.Time
+// or simtime.Duration) whose time argument is an unclamped subtraction
+// or a negative constant. Wrapping the argument in the builtin
+// max(..., floor) is the blessed clamp and passes.
+var Eventpast = &analysis.Analyzer{
+	Name: "eventpast",
+	Doc: "flag At/After/Schedule call sites whose simtime argument is a raw subtraction or " +
+		"negative constant without a clamp; scheduling in the simulated past panics the engine",
+	Run: runEventpast,
+}
+
+// eventpastMethods are the schedule-shaped callee names the analyzer
+// inspects when their first parameter carries a simtime type.
+var eventpastMethods = map[string]bool{
+	"At":       true,
+	"After":    true,
+	"Schedule": true,
+}
+
+func runEventpast(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name := calleeName(call)
+			if !eventpastMethods[name] {
+				return true
+			}
+			funTV, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || funTV.IsType() {
+				return true
+			}
+			sig, ok := funTV.Type.Underlying().(*types.Signature)
+			if !ok || sig.Params().Len() == 0 {
+				return true
+			}
+			if simtimeNamed(sig.Params().At(0).Type()) == nil {
+				return true
+			}
+			checkEventpastArg(pass, name, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// checkEventpastArg reports arg if, after unwrapping parens and simtime
+// conversions, it is a raw subtraction, a unary negation, or a constant
+// below zero. A clamp — any other enclosing call, in practice the
+// builtin max — hides the subtraction and passes.
+func checkEventpastArg(pass *analysis.Pass, callee string, arg ast.Expr) {
+	e := arg
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.CallExpr:
+			// Unwrap simtime.T(...) conversions only; a real call (max,
+			// helper) is treated as a clamp and ends the scan.
+			if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() &&
+				simtimeNamed(tv.Type) != nil && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+		}
+		break
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.SUB {
+			pass.Reportf(arg.Pos(),
+				"raw subtraction passed as the time argument of %s: clamp with max(..., floor) — "+
+					"scheduling in the simulated past panics the engine",
+				callee)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			pass.Reportf(arg.Pos(),
+				"negated value passed as the time argument of %s: clamp with max(..., floor) — "+
+					"scheduling in the simulated past panics the engine",
+				callee)
+			return
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact && v < 0 {
+			pass.Reportf(arg.Pos(),
+				"negative constant %s passed as the time argument of %s: "+
+					"scheduling in the simulated past panics the engine",
+				tv.Value, callee)
+		}
+	}
+}

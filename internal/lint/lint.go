@@ -7,6 +7,13 @@
 // These properties are enforced here at analysis time, so violations
 // fail `make check` instead of surfacing as digest mismatches after an
 // N-run sweep.
+//
+// A second family (DESIGN.md, "Physics contract") guards the model's
+// physical bookkeeping: noconc keeps model packages single-threaded,
+// eventpast keeps event scheduling out of the simulated past, and
+// acctfield keeps //acct:-tagged conservation counters writable only by
+// their owning types. The runtime half of that contract lives in
+// internal/invariant, behind the `invariants` build tag.
 package lint
 
 import (
@@ -18,9 +25,12 @@ import (
 	"dcqcn/internal/lint/analysis"
 )
 
-// All returns every determinism-contract analyzer, in stable order.
+// All returns every contract analyzer, in stable order: the
+// determinism family (walltime, globalrand, maporder, floateq,
+// simtime) followed by the physics/concurrency family (noconc,
+// eventpast, acctfield — see DESIGN.md §9).
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Floateq, Simtime}
+	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Floateq, Simtime, Noconc, Eventpast, Acctfield}
 }
 
 // ExemptFromModelRules reports whether a package is outside the

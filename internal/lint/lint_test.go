@@ -12,7 +12,7 @@ import (
 )
 
 func TestAllStableOrder(t *testing.T) {
-	want := []string{"walltime", "globalrand", "maporder", "floateq", "simtime"}
+	want := []string{"walltime", "globalrand", "maporder", "floateq", "simtime", "noconc", "eventpast", "acctfield"}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

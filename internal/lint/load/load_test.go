@@ -1,7 +1,13 @@
 package load
 
 import (
+	"go/importer"
+	"go/token"
 	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -49,5 +55,102 @@ func TestPackagesTypeInfo(t *testing.T) {
 func TestPackagesBadPattern(t *testing.T) {
 	if _, err := Packages("../../..", "./no/such/dir"); err == nil {
 		t.Fatal("expected error for unknown pattern")
+	}
+}
+
+// TestPackagesNoPatterns rejects an empty pattern list up front instead
+// of handing `go list` an implicit "." the caller never asked for.
+func TestPackagesNoPatterns(t *testing.T) {
+	if _, err := Packages("../../.."); err == nil {
+		t.Fatal("expected error for zero patterns")
+	}
+}
+
+// TestPackagesGoListFailure runs the loader outside any module so the
+// go command itself fails, and checks the stderr text is carried into
+// the returned error instead of a bare exit status.
+func TestPackagesGoListFailure(t *testing.T) {
+	_, err := Packages(t.TempDir(), "./...")
+	if err == nil {
+		t.Fatal("expected error outside a module")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("error %q does not identify the go list step", err)
+	}
+}
+
+// TestPackagesTypeError loads a fixture that parses but fails type
+// checking. `go list -export` refuses to build it, so the loader must
+// surface the compiler's diagnostic rather than an empty result.
+func TestPackagesTypeError(t *testing.T) {
+	_, err := Packages(".", "./testdata/typeerr")
+	if err == nil {
+		t.Fatal("expected error for type-broken fixture")
+	}
+	if !strings.Contains(err.Error(), "cannot use") {
+		t.Fatalf("error %q does not carry the type error", err)
+	}
+}
+
+// TestCheckTypeError drives check directly — bypassing go list, which
+// would reject the package first — and verifies the type-check error
+// path names the package.
+func TestCheckTypeError(t *testing.T) {
+	fset := token.NewFileSet()
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "gc", nil)}
+	_, err := check(fset, conf, &listedPackage{
+		Dir:        "testdata/typeerr",
+		ImportPath: "example/typeerr",
+		GoFiles:    []string{"typeerr.go"},
+	})
+	if err == nil {
+		t.Fatal("expected type-check error")
+	}
+	if !strings.Contains(err.Error(), "type-checking example/typeerr") {
+		t.Fatalf("error %q does not name the type-checking step", err)
+	}
+}
+
+// TestCheckMalformedExportData points the importer's lookup at a file
+// of garbage bytes where io's export data should be. The gc importer
+// must fail loudly and check must propagate it, not fabricate a
+// half-typed package.
+func TestCheckMalformedExportData(t *testing.T) {
+	garbage := filepath.Join(t.TempDir(), "io.a")
+	if err := os.WriteFile(garbage, []byte("this is not export data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) { return os.Open(garbage) }
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	_, err := check(fset, conf, &listedPackage{
+		Dir:        "testdata/importsio",
+		ImportPath: "example/importsio",
+		GoFiles:    []string{"importsio.go"},
+	})
+	if err == nil {
+		t.Fatal("expected error for malformed export data")
+	}
+	if !strings.Contains(err.Error(), "type-checking example/importsio") {
+		t.Fatalf("error %q does not name the failing package", err)
+	}
+}
+
+// TestCheckParseError feeds check a file that is not Go at all and
+// checks the parse-stage error path.
+func TestCheckParseError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("pakage oops\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "gc", nil)}
+	_, err := check(fset, conf, &listedPackage{
+		Dir:        dir,
+		ImportPath: "example/bad",
+		GoFiles:    []string{"bad.go"},
+	})
+	if err == nil {
+		t.Fatal("expected parse error")
 	}
 }

@@ -1,0 +1,9 @@
+// Package importsio is a valid package whose only job is to force the
+// type checker through the importer for "io": tests point that lookup
+// at malformed export data and expect a loud failure.
+package importsio
+
+import "io"
+
+// Discarded counts bytes written to io.Discard.
+func Discarded(p []byte) (int, error) { return io.Discard.Write(p) }

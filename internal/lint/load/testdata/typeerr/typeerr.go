@@ -1,0 +1,7 @@
+// Package typeerr parses cleanly but fails type checking: the loader
+// must surface the type error instead of returning a half-checked
+// package. testdata is invisible to ./... patterns, so this never
+// breaks the real build.
+package typeerr
+
+var oops int = "not an int"

@@ -1,0 +1,38 @@
+// Package a exercises the acctfield analyzer: struct fields tagged
+// //acct: may only be written by methods of the type that declares
+// them. Closures inside such methods count as the method.
+package a
+
+type queue struct {
+	//acct: bytes currently buffered
+	bytes int64
+	// cap has no tag, so anyone may write it.
+	cap int64
+}
+
+type scheduler struct {
+	q *queue
+}
+
+// push is an owner method: writes pass.
+func (q *queue) push(n int64) {
+	q.bytes += n
+}
+
+// drainLater shows the closure rule: the enclosing declaration is an
+// owner method, so the deferred write passes.
+func (q *queue) drainLater(n int64) func() {
+	return func() { q.bytes -= n }
+}
+
+// reset is a plain function: flagged.
+func reset(q *queue) {
+	q.bytes = 0 // want `write to accounting field queue\.bytes from a plain function`
+	q.cap = 0   // untagged: passes
+}
+
+// steal is a method of another type: flagged.
+func (s *scheduler) steal(n int64) {
+	s.q.bytes -= n // want `write to accounting field queue\.bytes from a method of scheduler`
+	s.q.bytes++    // want `write to accounting field queue\.bytes from a method of scheduler`
+}

@@ -1,0 +1,32 @@
+// Package a exercises the eventpast analyzer against schedule-shaped
+// call sites: methods named At/After/Schedule whose first parameter is
+// a simtime type must not receive raw subtractions or negative
+// constants — max(...) is the blessed clamp.
+package a
+
+import "dcqcn/internal/simtime"
+
+type sched struct{ now simtime.Time }
+
+func (s *sched) At(t simtime.Time, fn func())        {}
+func (s *sched) After(d simtime.Duration, fn func()) {}
+func (s *sched) Schedule(t simtime.Time)             {}
+
+// At with a plain int argument is not schedule-shaped; never flagged.
+func At(n int) {}
+
+func bad(s *sched, deadline simtime.Time, rtt simtime.Duration) {
+	s.At(deadline-simtime.Time(rtt), nil)   // want `raw subtraction passed as the time argument of At`
+	s.After(rtt-2*simtime.Microsecond, nil) // want `raw subtraction passed as the time argument of After`
+	s.Schedule(simtime.Time(s.now - 1))     // want `raw subtraction passed as the time argument of Schedule`
+	s.After(-simtime.Microsecond, nil)      // want `negated value passed as the time argument of After`
+	s.After(-5, nil)                        // want `negated value passed as the time argument of After`
+}
+
+func good(s *sched, deadline simtime.Time, rtt simtime.Duration) {
+	s.At(max(deadline-simtime.Time(rtt), s.now), nil) // clamped: passes
+	s.After(max(rtt-simtime.Microsecond, 0), nil)     // clamped: passes
+	s.Schedule(deadline)
+	s.After(rtt, nil)
+	At(3 - 7) // not schedule-shaped
+}

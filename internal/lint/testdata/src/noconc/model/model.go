@@ -1,0 +1,39 @@
+// Package model exercises the noconc analyzer inside a model package
+// (no exempt path element): every concurrency construct is flagged.
+package model
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex // want `use of sync\.Mutex in model package`
+	n  int64
+}
+
+func spawn(fn func()) {
+	go fn() // want `go statement in model package`
+}
+
+func channels(ch chan int) { // want `channel type in model package`
+	ch <- 1  // want `channel send in model package`
+	<-ch     // want `channel receive in model package`
+	select { // want `select statement in model package`
+	default:
+	}
+	for range ch { // want `range over channel in model package`
+	}
+}
+
+func atomics(c *counter) {
+	atomic.AddInt64(&c.n, 1) // want `use of sync/atomic\.AddInt64 in model package`
+}
+
+// sequential is ordinary single-threaded model code: nothing reported.
+func sequential(c *counter) {
+	c.n++
+	for i := 0; i < 3; i++ {
+		c.n += int64(i)
+	}
+}

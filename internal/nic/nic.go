@@ -146,7 +146,8 @@ type NIC struct {
 	cnpQueue   []*packet.Packet
 	cnpDrainer *eventq.Event
 
-	rxQueue   []*packet.Packet
+	rxQueue []*packet.Packet
+	//acct: bytes queued in the receive pipeline awaiting processing
 	rxBacklog int64
 	rxBusy    bool
 	rxPausing bool
@@ -201,6 +202,10 @@ func New(sim *engine.Sim, id packet.NodeID, name string, cfg Config) *NIC {
 
 // Port returns the NIC's fabric port for wiring.
 func (n *NIC) Port() *link.Port { return n.port }
+
+// RxBacklog returns the bytes queued in the receive pipeline awaiting
+// processing; the invariant auditor checks it never goes negative.
+func (n *NIC) RxBacklog() int64 { return n.rxBacklog }
 
 // Config returns the NIC configuration.
 func (n *NIC) Config() Config { return n.cfg }

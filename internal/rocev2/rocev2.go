@@ -176,6 +176,10 @@ type Sender struct {
 	// are still fed in.
 	stopped bool
 
+	// aud holds PSN-monotonicity audit state; zero-width unless built
+	// with -tags invariants.
+	aud senderAudit
+
 	Stats SenderStats
 }
 
@@ -246,6 +250,7 @@ func (s *Sender) BuildNext() *packet.Packet {
 	s.Stats.PacketsSent++
 	s.Stats.BytesSent += int64(pkt.Size)
 	s.armRTO()
+	s.audit()
 	return pkt
 }
 
@@ -277,6 +282,7 @@ func (s *Sender) OnAck(psn int64) {
 	if wasBlocked && s.CanSend() {
 		s.wake()
 	}
+	s.audit()
 }
 
 // OnNack processes an out-of-sequence NAK: go-back-N from expected.
@@ -294,6 +300,7 @@ func (s *Sender) OnNack(expected int64) {
 	if wasBlocked && s.CanSend() {
 		s.wake()
 	}
+	s.audit()
 }
 
 // Stop tears the QP down, cancelling timers. After Stop, late feedback
@@ -354,6 +361,7 @@ func (s *Sender) onRTO() {
 	if wasBlocked && s.CanSend() {
 		s.wake()
 	}
+	s.audit()
 }
 
 // ReceiverStats counts receive-side transport activity.
@@ -380,6 +388,10 @@ type Receiver struct {
 	// lastDataSentAt is the SentAt timestamp of the most recent in-order
 	// data packet, echoed on ACKs for RTT measurement.
 	lastDataSentAt simtime.Time
+
+	// aud holds PSN-monotonicity audit state; zero-width unless built
+	// with -tags invariants.
+	aud receiverAudit
 
 	Stats ReceiverStats
 }
@@ -425,6 +437,7 @@ func (r *Receiver) OnData(p *packet.Packet) {
 			r.send(packet.NewNack(r.Flow, r.Tuple, r.expected))
 		}
 	}
+	r.audit()
 }
 
 func (r *Receiver) sendAck() {

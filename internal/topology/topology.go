@@ -153,6 +153,11 @@ func (n *Network) Switch(name string) *fabric.Switch {
 // HostNames returns host names in creation order.
 func (n *Network) HostNames() []string { return n.hostOrder }
 
+// SwitchNames returns switch names in creation order, for callers that
+// must iterate the fabric deterministically (ranging over the Switches
+// map would not be).
+func (n *Network) SwitchNames() []string { return n.swOrder }
+
 // ComputeRoutes installs shortest-path ECMP routing for every host
 // destination on every switch. Must be called once after wiring.
 func (n *Network) ComputeRoutes() {
