@@ -11,9 +11,9 @@ GO ?= go
 # same code (testdata fixtures are excluded by pattern expansion).
 PKGS ?= ./...
 
-.PHONY: check fmt vet lint build test race faults invariants bench sweep-smoke sweep chaos clean
+.PHONY: check fmt vet lint build test race faults invariants flightrec bench bench-json sweep-smoke sweep chaos clean
 
-check: fmt vet lint build faults race invariants
+check: fmt vet lint build faults race invariants flightrec
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -53,8 +53,28 @@ invariants:
 	$(GO) run -tags invariants ./cmd/dcqcn-sweep -scenario 'chaos-*' -seeds 1 \
 		-parallel 0 -check-determinism -quiet -out chaos-out
 
+# Flight recorder gate: the package's unit tests (ring encoding, pause
+# chains, diffing, exporters), the armed chaos smoke (every chaos
+# scenario swept with recording on and the determinism gate checking
+# that digests are unchanged), and the replay self-check — a same-seed
+# diff must report no divergence, a cross-seed diff on the DCQCN point
+# must find one.
+flightrec:
+	$(GO) test ./internal/flightrec/...
+	$(GO) run ./cmd/dcqcn-sweep -scenario 'chaos-*' -seeds 1 -parallel 0 \
+		-check-determinism -record -quiet -out chaos-out
+	$(GO) run ./cmd/dcqcn-replay -scenario chaos-pause-storm -diff-seed 0 \
+		-expect same > /dev/null
+	$(GO) run ./cmd/dcqcn-replay -scenario chaos-pause-storm -point 1 \
+		-diff-seed 1 -expect diverged > /dev/null
+
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkSweep -benchtime=1x .
+
+# Flight-recorder overhead comparison (armed vs disarmed incast) as a
+# machine-readable artifact.
+bench-json:
+	BENCH_JSON=BENCH_5.json $(GO) test -run TestBenchArtifact -v .
 
 # Quick end-to-end exercise of the harness: one scenario, 4 workers,
 # determinism gate on. Artifacts land in sweep-out/.

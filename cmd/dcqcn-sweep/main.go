@@ -12,7 +12,7 @@
 //
 //	dcqcn-sweep [-scenario name,glob*] [-parallel N] [-reruns N]
 //	            [-seeds N] [-out dir] [-full] [-check-determinism]
-//	            [-bench] [-list] [-quiet]
+//	            [-bench] [-list] [-quiet] [-record]
 //
 // -check-determinism reruns every (point, seed) at least twice and fails
 // loudly unless engine digests and metrics are bit-identical — the gate
@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dcqcn/internal/experiments"
+	"dcqcn/internal/flightrec"
 	"dcqcn/internal/harness"
 	"dcqcn/internal/invariant"
 )
@@ -45,8 +46,17 @@ func main() {
 		bench    = flag.Bool("bench", false, "also time the grid at -parallel 1 and record the speedup")
 		list     = flag.Bool("list", false, "list scenarios and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress")
+		record   = flag.Bool("record", false, "arm the flight recorder on every run (passivity proof; recorded in provenance)")
 	)
 	flag.Parse()
+
+	if *record {
+		// Armed before NewProvenance so flightrec_armed lands in the
+		// artifact. The sink is nil: the sweep keeps no recordings — the
+		// point is proving every scenario runs digest-identical with
+		// recording on (use dcqcn-replay to actually inspect a run).
+		flightrec.Arm(flightrec.Config{}, nil)
+	}
 
 	fid := experiments.Quick()
 	fidName := "quick"
@@ -157,6 +167,9 @@ func main() {
 	}
 	if invariant.Enabled {
 		fmt.Println("invariants auditor: armed (built with -tags invariants); no violations")
+	}
+	if flightrec.Armed() {
+		fmt.Println("flight recorder: armed on every run (-record); digests unchanged by recording")
 	}
 	if prov.Speedup > 0 {
 		fmt.Printf("speedup vs sequential: %.2fx (%.1fs -> %.1fs)\n",

@@ -6,12 +6,19 @@
 //
 //	dcqcn-trace [-duration 100ms] [-second-start 5ms] [-sample 100us]
 //	            [-g 0.00390625] [-timer 55us] [-bc 10000000]
-//	            [-kmin 5000] [-kmax 200000] [-pmax 0.01] > trace.csv
+//	            [-kmin 5000] [-kmax 200000] [-pmax 0.01]
+//	            [-chrome trace.json] [-record events.csv] > trace.csv
+//
+// -chrome arms the flight recorder and writes the run as Chrome
+// trace-event JSON (open in Perfetto or chrome://tracing); -record
+// writes the raw per-event CSV. Both are passive: the emitted rate/queue
+// time series is identical with or without them.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,6 +35,8 @@ func main() {
 	kmin := flag.Int64("kmin", 5_000, "ECN K_min")
 	kmax := flag.Int64("kmax", 200_000, "ECN K_max")
 	pmax := flag.Float64("pmax", 0.01, "ECN P_max")
+	chrome := flag.String("chrome", "", "write the run as Chrome trace-event JSON to this file")
+	record := flag.String("record", "", "write the flight recorder's raw event CSV to this file")
 	flag.Parse()
 
 	params := dcqcn.DefaultParams()
@@ -41,6 +50,10 @@ func main() {
 	}
 
 	sim := dcqcn.NewStarNetwork(1, 3, dcqcn.DefaultOptions().WithDCQCN(params))
+	var fr *dcqcn.FlightRecorder
+	if *chrome != "" || *record != "" {
+		fr = sim.AttachFlightRecorder()
+	}
 	recv := sim.Host("H3").NodeID()
 	keep := func(f *dcqcn.Flow) {
 		var post func()
@@ -77,5 +90,27 @@ func main() {
 	if err := rec.WriteCSV(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	writeTo := func(path string, write func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *chrome != "" {
+		writeTo(*chrome, fr.WriteChromeTrace)
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d events) to %s\n", fr.EventsRecorded(), *chrome)
+	}
+	if *record != "" {
+		writeTo(*record, fr.WriteEventsCSV)
+		fmt.Fprintf(os.Stderr, "wrote event CSV (%d events) to %s\n", fr.EventsRecorded(), *record)
 	}
 }

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"dcqcn/internal/flightrec"
+	"dcqcn/internal/harness"
+)
+
+// TestGoldenDigestsWithFlightRecorder is the flight recorder's
+// passivity contract, enforced against the same golden table as
+// TestGoldenDigests: every registered scenario — the five chaos
+// scenarios included — run at seed 0 with recording armed must
+// reproduce its pinned digest bit-for-bit. A recorder that schedules
+// an event, draws randomness, or mutates model state fails here
+// immediately. The test also requires that each run actually recorded
+// events, so a silently-detached recorder cannot pass vacuously.
+func TestGoldenDigestsWithFlightRecorder(t *testing.T) {
+	defer flightrec.Disarm()
+	reg := testRegistry(t, goldenFid())
+	for _, sc := range reg.All() {
+		var recs []*flightrec.Recorder
+		// Re-armed per scenario so the sink only collects this
+		// scenario's networks. Runs are sequential: the sink needs no
+		// synchronization.
+		flightrec.Arm(flightrec.Config{}, func(r *flightrec.Recorder) { recs = append(recs, r) })
+		res := sc.Run(harness.RunContext{
+			Scenario: sc.Name,
+			Point:    sc.Points[0],
+			PointIdx: 0,
+			Seed:     0,
+		})
+		flightrec.Disarm()
+
+		want, ok := goldenDigests[sc.Name]
+		if !ok {
+			t.Errorf("scenario %q has no golden digest", sc.Name)
+			continue
+		}
+		if got := res.Digest.String(); got != want {
+			t.Errorf("scenario %q: armed digest %s != golden %s — the flight recorder perturbed the run",
+				sc.Name, got, want)
+		}
+		if len(recs) == 0 {
+			t.Errorf("scenario %q built no network through topology.OnBuild", sc.Name)
+			continue
+		}
+		var total int
+		for _, r := range recs {
+			total += r.EventsRecorded()
+		}
+		if total == 0 {
+			t.Errorf("scenario %q: recorder armed but captured nothing", sc.Name)
+		}
+	}
+}

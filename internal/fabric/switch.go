@@ -111,6 +111,16 @@ type Switch struct {
 	// routes the feedback like any other packet.
 	Sampler func(p *packet.Packet, egressQueueBytes int64) *packet.Packet
 
+	// OnDrop, if set, observes every admission-time tail drop (buffer
+	// overflow or egress-alpha limit) after the drop counters update.
+	// Strictly passive, same contract as link.Port.OnRx: observers must
+	// not schedule events, draw randomness, or mutate the packet.
+	OnDrop func(p *packet.Packet, inPort int)
+	// OnMark, if set, observes every CE mark this switch applies, with
+	// the egress port the marked packet is heading out of. Strictly
+	// passive, same contract as OnDrop.
+	OnMark func(p *packet.Packet, outPort int)
+
 	Stats Stats
 }
 
@@ -235,6 +245,9 @@ func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 		s.Stats.Drops++
 		in.Stats.Drops++
 		s.acct[in.Index].DroppedBytes += int64(p.Size)
+		if s.OnDrop != nil {
+			s.OnDrop(p, in.Index)
+		}
 		return
 	}
 	if !s.cfg.PFCEnabled && s.cfg.EgressAlpha > 0 {
@@ -244,6 +257,9 @@ func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 				s.Stats.Drops++
 				in.Stats.Drops++
 				s.acct[in.Index].DroppedBytes += int64(p.Size)
+				if s.OnDrop != nil {
+					s.OnDrop(p, in.Index)
+				}
 				return
 			}
 		}
@@ -278,6 +294,9 @@ func (s *Switch) forward(p *packet.Packet) {
 	if p.ECNCapable && s.cp.ShouldMark(qlen) {
 		p.CE = true
 		s.Stats.EcnMarked++
+		if s.OnMark != nil {
+			s.OnMark(p, out)
+		}
 	}
 	if s.Sampler != nil && p.Type == packet.Data {
 		if fb := s.Sampler(p, qlen); fb != nil {

@@ -92,6 +92,16 @@ func (o *Outcome) clear(now simtime.Time) {
 	o.Active = false
 }
 
+// observe reports a fault transition ("activate" or "clear") to the
+// network's passive OnFault observer, if one is attached. The observer
+// contract keeps this digest-neutral: flight recording is the intended
+// subscriber.
+func (in *Injector) observe(o *Outcome, phase string) {
+	if in.net.OnFault != nil {
+		in.net.OnFault(o.Index, o.Kind.String(), o.Target, phase)
+	}
+}
+
 // armFlap schedules FlapCount down/up cycles spread evenly over the
 // window. Injected counts the link's fault drops over the window: frames
 // offered while down plus in-flight frames invalidated by each epoch
@@ -111,6 +121,7 @@ func (in *Injector) armFlap(spec Spec, o *Outcome, start, end simtime.Time) {
 	var before int64
 	sim.At(start, func() {
 		o.activate(sim.Now())
+		in.observe(o, "activate")
 		before = l.FaultDrops
 	})
 	for k := 0; k < cycles; k++ {
@@ -122,6 +133,7 @@ func (in *Injector) armFlap(spec Spec, o *Outcome, start, end simtime.Time) {
 		l.SetDown(false) // idempotent; guarantees the link is restored
 		o.Injected = l.FaultDrops - before
 		o.clear(sim.Now())
+		in.observe(o, "clear")
 	})
 }
 
@@ -133,6 +145,7 @@ func (in *Injector) armLoss(spec Spec, o *Outcome, start, end simtime.Time) {
 	sim := in.net.Sim
 	sim.At(start, func() {
 		o.activate(sim.Now())
+		in.observe(o, "activate")
 		l.DropHook = func(_ *link.Port, pkt *packet.Packet) bool {
 			if pkt.IsControl() {
 				return false
@@ -147,6 +160,7 @@ func (in *Injector) armLoss(spec Spec, o *Outcome, start, end simtime.Time) {
 	sim.At(end, func() {
 		l.DropHook = nil
 		o.clear(sim.Now())
+		in.observe(o, "clear")
 	})
 }
 
@@ -164,6 +178,7 @@ func (in *Injector) armStorm(spec Spec, o *Outcome, start, end simtime.Time) {
 	var stop func()
 	sim.At(start, func() {
 		o.activate(sim.Now())
+		in.observe(o, "activate")
 		prio := spec.Priority
 		if prio == 0 {
 			prio = h.DataPriority()
@@ -180,6 +195,7 @@ func (in *Injector) armStorm(spec Spec, o *Outcome, start, end simtime.Time) {
 			stop()
 		}
 		o.clear(sim.Now())
+		in.observe(o, "clear")
 	})
 }
 
@@ -191,12 +207,14 @@ func (in *Injector) armSlowReceiver(spec Spec, o *Outcome, start, end simtime.Ti
 	var prev simtime.Rate
 	sim.At(start, func() {
 		o.activate(sim.Now())
+		in.observe(o, "activate")
 		prev = h.Config().RxProcessingRate
 		h.SetRxProcessingRate(spec.DrainRate)
 	})
 	sim.At(end, func() {
 		h.SetRxProcessingRate(prev)
 		o.clear(sim.Now())
+		in.observe(o, "clear")
 	})
 }
 
@@ -207,6 +225,7 @@ func (in *Injector) armMisconfig(spec Spec, o *Outcome, start, end simtime.Time)
 	sim := in.net.Sim
 	sim.At(start, func() {
 		o.activate(sim.Now())
+		in.observe(o, "activate")
 		prev := sw.Config()
 		if spec.Beta > 0 {
 			sw.SetBeta(spec.Beta)
@@ -237,6 +256,7 @@ func (in *Injector) armMisconfig(spec Spec, o *Outcome, start, end simtime.Time)
 				sw.SetMarking(prev.Marking)
 			}
 			o.clear(sim.Now())
+			in.observe(o, "clear")
 		})
 	})
 }

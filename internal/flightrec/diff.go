@@ -1,0 +1,162 @@
+package flightrec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence reports how two recordings differ. Seq is the sequence
+// number of the first event present in both recordings' retained
+// windows that decodes differently (or the first sequence number where
+// one recording has an event and the other has run out). ContextA and
+// ContextB hold the diverging event plus up to contextEvents preceding
+// events from each side.
+type Divergence struct {
+	Seq      int
+	Reason   string
+	ContextA []Event
+	ContextB []Event
+}
+
+const contextEvents = 5
+
+// Diff compares two recordings event-by-event over the overlap of
+// their retained windows and returns the first divergence, or nil if
+// they are identical over that overlap. Two runs of the same scenario
+// with the same seed must produce nil; different seeds are expected to
+// diverge almost immediately.
+//
+// Events are aligned by sequence number, so a recording whose ring
+// evicted more history is compared only where both retain data. If the
+// retained windows do not overlap at all, that is itself reported as a
+// divergence (the runs cannot be checked against each other).
+func Diff(a, b *Recorder) *Divergence {
+	ea, eb := a.Events(), b.Events()
+	if len(ea) == 0 && len(eb) == 0 {
+		return nil
+	}
+	// Align on sequence numbers: skip whichever side starts earlier.
+	i, j := 0, 0
+	if len(ea) > 0 && len(eb) > 0 {
+		if ea[0].Seq < eb[0].Seq {
+			i = seqIndex(ea, eb[0].Seq)
+		} else if eb[0].Seq < ea[0].Seq {
+			j = seqIndex(eb, ea[0].Seq)
+		}
+		if i < 0 || j < 0 {
+			return &Divergence{
+				Seq:    max(firstSeq(ea), firstSeq(eb)),
+				Reason: "retained windows do not overlap; rings evicted disjoint histories",
+			}
+		}
+	}
+	for ; i < len(ea) && j < len(eb); i, j = i+1, j+1 {
+		if reason := eventDiff(ea[i], eb[j]); reason != "" {
+			return &Divergence{
+				Seq:      ea[i].Seq,
+				Reason:   reason,
+				ContextA: tail(ea, i),
+				ContextB: tail(eb, j),
+			}
+		}
+	}
+	if i < len(ea) {
+		return &Divergence{
+			Seq:      ea[i].Seq,
+			Reason:   fmt.Sprintf("run B ended after %d events; run A continues with %s", eb[len(eb)-1].Seq+1, ea[i]),
+			ContextA: tail(ea, i),
+			ContextB: tail(eb, len(eb)-1),
+		}
+	}
+	if j < len(eb) {
+		return &Divergence{
+			Seq:      eb[j].Seq,
+			Reason:   fmt.Sprintf("run A ended after %d events; run B continues with %s", ea[len(ea)-1].Seq+1, eb[j]),
+			ContextA: tail(ea, len(ea)-1),
+			ContextB: tail(eb, j),
+		}
+	}
+	return nil
+}
+
+// eventDiff returns "" if the events match, else a field-level reason.
+func eventDiff(x, y Event) string {
+	switch {
+	case x.Seq != y.Seq:
+		return fmt.Sprintf("sequence skew: %d vs %d", x.Seq, y.Seq)
+	case x.At != y.At:
+		return fmt.Sprintf("time: %s vs %s", x.At, y.At)
+	case x.Kind != y.Kind:
+		return fmt.Sprintf("kind: %s vs %s", x.Kind, y.Kind)
+	case x.Port != y.Port:
+		return fmt.Sprintf("port: %s vs %s", x.Port, y.Port)
+	case x.Type != y.Type:
+		return fmt.Sprintf("packet type: %s vs %s", x.Type, y.Type)
+	case x.Flow != y.Flow:
+		return fmt.Sprintf("flow: %d vs %d", x.Flow, y.Flow)
+	case x.PSN != y.PSN:
+		return fmt.Sprintf("psn: %d vs %d", x.PSN, y.PSN)
+	case x.Size != y.Size:
+		return fmt.Sprintf("size: %d vs %d", x.Size, y.Size)
+	case x.Prio != y.Prio:
+		return fmt.Sprintf("priority: %d vs %d", x.Prio, y.Prio)
+	case x.Arg != y.Arg:
+		return fmt.Sprintf("arg: %d vs %d", x.Arg, y.Arg)
+	case x.Label != y.Label:
+		return fmt.Sprintf("label: %q vs %q", x.Label, y.Label)
+	}
+	return ""
+}
+
+// seqIndex finds the index of seq in evs (events are Seq-contiguous
+// within one recording), or -1 if seq precedes or follows the window.
+func seqIndex(evs []Event, seq int) int {
+	if len(evs) == 0 {
+		return -1
+	}
+	k := seq - evs[0].Seq
+	if k < 0 || k >= len(evs) {
+		return -1
+	}
+	return k
+}
+
+func firstSeq(evs []Event) int {
+	if len(evs) == 0 {
+		return 0
+	}
+	return evs[0].Seq
+}
+
+func tail(evs []Event, i int) []Event {
+	lo := i - contextEvents
+	if lo < 0 {
+		lo = 0
+	}
+	out := make([]Event, i-lo+1)
+	copy(out, evs[lo:i+1])
+	return out
+}
+
+// Format renders a divergence for terminal output: the reason, then
+// the context window of each run with the diverging line marked.
+func (d *Divergence) Format() string {
+	if d == nil {
+		return "recordings are identical over the retained window\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "first divergence at event #%d: %s\n", d.Seq, d.Reason)
+	writeSide := func(name string, evs []Event) {
+		fmt.Fprintf(&b, "  run %s:\n", name)
+		for i, e := range evs {
+			marker := "    "
+			if i == len(evs)-1 {
+				marker = "  > "
+			}
+			b.WriteString(marker + e.String() + "\n")
+		}
+	}
+	writeSide("A", d.ContextA)
+	writeSide("B", d.ContextB)
+	return b.String()
+}

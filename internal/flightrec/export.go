@@ -1,0 +1,229 @@
+package flightrec
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dcqcn/internal/simtime"
+)
+
+// WriteCSV emits every retained event as one row, oldest-first, with a
+// header. Timestamps appear both in raw picoseconds (exact) and in
+// microseconds (convenient for spreadsheets).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "at_ps", "at_us", "kind", "port", "node", "type", "flow", "psn", "size", "prio", "arg", "label"}); err != nil {
+		return err
+	}
+	var werr error
+	r.Each(func(e Event) bool {
+		rec := []string{
+			strconv.Itoa(e.Seq),
+			strconv.FormatInt(int64(e.At), 10),
+			strconv.FormatFloat(e.At.Microseconds(), 'f', 6, 64),
+			e.Kind.String(),
+			e.Port,
+			e.Node,
+			e.Type.String(),
+			strconv.FormatInt(int64(e.Flow), 10),
+			strconv.FormatInt(e.PSN, 10),
+			strconv.Itoa(e.Size),
+			strconv.Itoa(int(e.Prio)),
+			strconv.FormatInt(e.Arg, 10),
+			e.Label,
+		}
+		if err := cw.Write(rec); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (loadable in Perfetto / chrome://tracing). ts and dur are in
+// microseconds by format convention.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  *float64    `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Cat  string      `json:"cat,omitempty"`
+	S    string      `json:"s,omitempty"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+type pktArgs struct {
+	Flow int64  `json:"flow"`
+	PSN  int64  `json:"psn"`
+	Size int    `json:"size"`
+	Prio int    `json:"prio"`
+	Kind string `json:"kind,omitempty"`
+}
+
+type rateArgs struct {
+	Gbps float64 `json:"gbps"`
+}
+
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+// queued is one egress-FIFO residency awaiting its departure.
+type queued struct {
+	at   simtime.Time
+	flow int64
+	psn  int64
+	typ  string
+	size int
+}
+
+type qkey struct {
+	port string
+	prio uint8
+}
+
+func us(t simtime.Time) float64 { return t.Microseconds() }
+
+// WriteChromeTrace renders the retained window as Chrome trace-event
+// JSON: one process per node, one thread per port. Egress-FIFO
+// residency (enqueue→departure, FIFO-matched per port and priority)
+// and PFC pause intervals become complete slices; drops, marks, CNPs
+// and fault transitions become instants; rate updates become counter
+// tracks. Open intervals at the end of the window are closed at the
+// recording horizon (pauses additionally capped by the PFC quanta
+// duration).
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	// Deterministic pid/tid assignment: nodes in registration order,
+	// ports in per-node registration order. pid 0 is reserved for
+	// portless run-scope events (fault transitions).
+	pid := make(map[string]int, len(r.nodes))
+	tid := make(map[string]int, len(r.ports))
+	var evs []chromeEvent
+	evs = append(evs, chromeEvent{Name: "process_name", Ph: "M", Pid: 0, Args: nameArgs{Name: "run"}})
+	for i, node := range r.nodes {
+		pid[node] = i + 1
+		evs = append(evs, chromeEvent{Name: "process_name", Ph: "M", Pid: i + 1, Args: nameArgs{Name: node}})
+		for j, port := range r.nodePorts[node] {
+			tid[port] = j + 1
+			evs = append(evs, chromeEvent{Name: "thread_name", Ph: "M", Pid: i + 1, Tid: j + 1, Args: nameArgs{Name: port}})
+		}
+	}
+	slot := func(port string) (int, int) {
+		info, ok := r.meta[port]
+		if !ok {
+			return 0, 1
+		}
+		return pid[info.Node], tid[port]
+	}
+	slice := func(name, cat, port string, from, to simtime.Time, args interface{}) chromeEvent {
+		p, t := slot(port)
+		d := us(to) - us(from)
+		if d < 0 {
+			d = 0
+		}
+		return chromeEvent{Name: name, Ph: "X", Ts: us(from), Dur: &d, Pid: p, Tid: t, Cat: cat, Args: args}
+	}
+	instant := func(name, cat, port string, at simtime.Time, args interface{}) chromeEvent {
+		p, t := slot(port)
+		return chromeEvent{Name: name, Ph: "i", Ts: us(at), Pid: p, Tid: t, Cat: cat, S: "t", Args: args}
+	}
+
+	queues := make(map[qkey][]queued)
+	pauses := make(map[qkey]simtime.Time) // open XOFF start per (port, prio)
+	pauseOpen := make(map[qkey]bool)
+	// Track insertion order of open pauses/queues so the final flush is
+	// deterministic (maps are lookup-only; iteration uses these slices).
+	var pauseOrder []qkey
+	var queueOrder []qkey
+
+	r.Each(func(e Event) bool {
+		k := qkey{e.Port, e.Prio}
+		switch e.Kind {
+		case KindEnqueue:
+			if _, ok := queues[k]; !ok {
+				queueOrder = append(queueOrder, k)
+			}
+			queues[k] = append(queues[k], queued{at: e.At, flow: int64(e.Flow), psn: e.PSN, typ: e.Type.String(), size: e.Size})
+		case KindDequeue:
+			q := queues[k]
+			if len(q) == 0 {
+				// Departure of a frame enqueued before the retained
+				// window; render as a zero-length slice.
+				evs = append(evs, slice(e.Type.String(), "queue", e.Port, e.At, e.At,
+					pktArgs{Flow: int64(e.Flow), PSN: e.PSN, Size: e.Size, Prio: int(e.Prio)}))
+				break
+			}
+			head := q[0]
+			queues[k] = q[1:]
+			evs = append(evs, slice(head.typ, "queue", e.Port, head.at, e.At,
+				pktArgs{Flow: head.flow, PSN: head.psn, Size: head.size, Prio: int(e.Prio)}))
+		case KindXoff:
+			if !pauseOpen[k] {
+				if _, seen := pauses[k]; !seen {
+					pauseOrder = append(pauseOrder, k)
+				}
+				pauses[k] = e.At
+				pauseOpen[k] = true
+			}
+			evs = append(evs, instant("XOFF", "pfc", e.Port, e.At, pktArgs{Prio: int(e.Prio), Size: e.Size}))
+		case KindXon:
+			evs = append(evs, instant("XON", "pfc", e.Port, e.At, pktArgs{Prio: int(e.Prio), Size: e.Size}))
+			if pauseOpen[k] {
+				evs = append(evs, slice(fmt.Sprintf("paused p%d", e.Prio), "pfc", e.Port, pauses[k], e.At, nil))
+				pauseOpen[k] = false
+			}
+		case KindDrop, KindLinkDrop:
+			evs = append(evs, instant("drop", "drop", e.Port, e.At,
+				pktArgs{Flow: int64(e.Flow), PSN: e.PSN, Size: e.Size, Prio: int(e.Prio), Kind: e.Label}))
+		case KindMark:
+			evs = append(evs, instant("ECN mark", "ecn", e.Port, e.At,
+				pktArgs{Flow: int64(e.Flow), PSN: e.PSN, Size: e.Size, Prio: int(e.Prio)}))
+		case KindCNPEmit:
+			evs = append(evs, instant("CNP emit", "cnp", e.Port, e.At, pktArgs{Flow: int64(e.Flow), Size: e.Size}))
+		case KindCNPRecv:
+			evs = append(evs, instant("CNP recv", "cnp", e.Port, e.At, pktArgs{Flow: int64(e.Flow), Size: e.Size}))
+		case KindRate:
+			p, t := slot(e.Port)
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("rate f%d", e.Flow), Ph: "C", Ts: us(e.At), Pid: p, Tid: t, Cat: "rate",
+				Args: rateArgs{Gbps: float64(e.Arg) / 1e9},
+			})
+		case KindFault:
+			evs = append(evs, chromeEvent{Name: e.Label, Ph: "i", Ts: us(e.At), Pid: 0, Tid: 1, Cat: "fault", S: "p"})
+		}
+		return true
+	})
+
+	// Close intervals still open at the recording horizon.
+	for _, k := range pauseOrder {
+		if pauseOpen[k] {
+			evs = append(evs, slice(fmt.Sprintf("paused p%d", k.prio), "pfc", k.port,
+				pauses[k], r.PauseHorizon(pauses[k]), nil))
+		}
+	}
+	for _, k := range queueOrder {
+		for _, head := range queues[k] {
+			evs = append(evs, slice(head.typ, "queue", k.port, head.at, r.lastAt,
+				pktArgs{Flow: head.flow, PSN: head.psn, Size: head.size, Prio: int(k.prio)}))
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

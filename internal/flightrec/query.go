@@ -1,0 +1,223 @@
+package flightrec
+
+import (
+	"fmt"
+	"strings"
+
+	"dcqcn/internal/link"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/simtime"
+)
+
+// FlowTimeline returns the retained events touching one flow,
+// oldest-first, capped at max (0 = uncapped). Pure packet-path kinds
+// only — PFC and fault events carry no flow identity.
+func (r *Recorder) FlowTimeline(flow packet.FlowID, max int) []Event {
+	var out []Event
+	r.Each(func(e Event) bool {
+		switch e.Kind {
+		case KindXoff, KindXon, KindFault:
+			return true
+		}
+		if e.Flow != flow {
+			return true
+		}
+		out = append(out, e)
+		return max <= 0 || len(out) < max
+	})
+	return out
+}
+
+// PauseSummary describes the XOFF activity observed at one port.
+type PauseSummary struct {
+	Port  string
+	Node  string
+	Prio  uint8
+	Xoffs int
+	Xons  int
+	First simtime.Time
+	Last  simtime.Time
+	Host  bool
+}
+
+// PausedPorts returns, per (port, priority) with at least one received
+// XOFF, a summary — in port registration order, priorities ascending.
+// These are the natural roots for PauseChain: host entries are the
+// edge of the cascade (a paused sender NIC).
+func (r *Recorder) PausedPorts() []PauseSummary {
+	idx := r.pauseIndex()
+	var out []PauseSummary
+	for _, pi := range r.ports {
+		for prio := 0; prio < packet.NumPriorities; prio++ {
+			rec := idx[pauseKey{pi.Port, uint8(prio)}]
+			if rec == nil || len(rec.xoffs) == 0 {
+				continue
+			}
+			out = append(out, PauseSummary{
+				Port: pi.Port, Node: pi.Node, Prio: uint8(prio),
+				Xoffs: len(rec.xoffs), Xons: rec.xons,
+				First: rec.xoffs[0], Last: rec.xoffs[len(rec.xoffs)-1],
+				Host: pi.Host,
+			})
+		}
+	}
+	return out
+}
+
+// PauseNode is one hop of a reconstructed XOFF back-pressure chain: a
+// port that received PAUSE frames, who asserted them, and — recursively
+// — why the asserting device was itself paused.
+type PauseNode struct {
+	// Port received the XOFF frames; Node owns it.
+	Port string
+	Node string
+	Prio uint8
+	// Xoffs/Xons count the PFC frames received here; First/Last bound
+	// the observed XOFF activity.
+	Xoffs int
+	Xons  int
+	First simtime.Time
+	Last  simtime.Time
+	// SenderNode asserted the pauses, transmitting from SenderPort (the
+	// wire peer of Port).
+	SenderNode string
+	SenderPort string
+	// Causes are the XOFF receptions at the asserting device's other
+	// ports that explain its back-pressure, reconstructed recursively.
+	// Empty Causes means SenderNode paused spontaneously — the root
+	// cause (the §2 malfunctioning NIC).
+	Causes []*PauseNode
+	// Origin marks a node whose sender received no XOFF itself: the
+	// chain's root cause.
+	Origin bool
+}
+
+type pauseKey struct {
+	port string
+	prio uint8
+}
+
+type pauseRec struct {
+	xoffs []simtime.Time
+	xons  int
+}
+
+// pauseIndex decodes the ring once into per-(port, priority) XOFF/XON
+// observations.
+func (r *Recorder) pauseIndex() map[pauseKey]*pauseRec {
+	idx := make(map[pauseKey]*pauseRec)
+	r.Each(func(e Event) bool {
+		switch e.Kind {
+		case KindXoff, KindXon:
+			k := pauseKey{e.Port, e.Prio}
+			rec := idx[k]
+			if rec == nil {
+				rec = &pauseRec{}
+				idx[k] = rec
+			}
+			if e.Kind == KindXoff {
+				rec.xoffs = append(rec.xoffs, e.At)
+			} else {
+				rec.xons++
+			}
+		}
+		return true
+	})
+	return idx
+}
+
+// PauseChain reconstructs the causal XOFF chain ending at (port, prio):
+// why was this port paused? The walk follows back-pressure edges
+// upstream — the device that asserted XOFF at this port was itself
+// paused at its other ports — until it reaches a device that received
+// no XOFF at all: the storm's origin. Cycles (PFC deadlock rings) are
+// cut by a visited set, so the walk terminates on any topology.
+func (r *Recorder) PauseChain(port string, prio uint8) (*PauseNode, error) {
+	if _, ok := r.meta[port]; !ok {
+		return nil, fmt.Errorf("flightrec: unknown port %q", port)
+	}
+	idx := r.pauseIndex()
+	if rec := idx[pauseKey{port, prio}]; rec == nil || len(rec.xoffs) == 0 {
+		return nil, fmt.Errorf("flightrec: port %q received no XOFF on priority %d", port, prio)
+	}
+	visited := make(map[pauseKey]bool)
+	return r.pauseNode(idx, visited, port, prio), nil
+}
+
+func (r *Recorder) pauseNode(idx map[pauseKey]*pauseRec, visited map[pauseKey]bool, port string, prio uint8) *PauseNode {
+	visited[pauseKey{port, prio}] = true
+	info := r.meta[port]
+	rec := idx[pauseKey{port, prio}]
+	n := &PauseNode{
+		Port: port, Node: info.Node, Prio: prio,
+		Xoffs: len(rec.xoffs), Xons: rec.xons,
+		First: rec.xoffs[0], Last: rec.xoffs[len(rec.xoffs)-1],
+		SenderNode: info.PeerNode, SenderPort: info.Peer,
+	}
+	// The asserting device's own pauses explain its back-pressure: any
+	// of its other ports that received XOFF on the same priority before
+	// this port's pause episode ended is a candidate cause. The port
+	// facing us is excluded — its pauses travel the other direction.
+	for _, q := range r.nodePorts[info.PeerNode] {
+		if q == info.Peer || visited[pauseKey{q, prio}] {
+			continue
+		}
+		qrec := idx[pauseKey{q, prio}]
+		if qrec == nil || len(qrec.xoffs) == 0 || qrec.xoffs[0] > n.Last {
+			continue
+		}
+		n.Causes = append(n.Causes, r.pauseNode(idx, visited, q, prio))
+	}
+	if len(n.Causes) == 0 {
+		n.Origin = true
+	}
+	return n
+}
+
+// FormatPauseChain renders a chain as an indented tree, one line per
+// hop, root (the victim port) first:
+//
+//	H1 (host H1) prio 3: 5 XOFF, 0 XON [1.00ms .. 2.10ms] — paused by SW via SW.p0
+//	└─ SW.p3 (switch SW) prio 3: 12 XOFF ... — paused by H4 via H4 ← root cause
+func FormatPauseChain(n *PauseNode) string {
+	var b strings.Builder
+	formatPauseNode(&b, n, "", "")
+	return b.String()
+}
+
+func formatPauseNode(b *strings.Builder, n *PauseNode, head, tail string) {
+	b.WriteString(head)
+	fmt.Fprintf(b, "%s (%s %s) prio %d: %d XOFF, %d XON [%s .. %s] — paused by %s via %s",
+		n.Port, nodeKind(n), n.Node, n.Prio, n.Xoffs, n.Xons, n.First, n.Last, n.SenderNode, n.SenderPort)
+	if n.Origin {
+		fmt.Fprintf(b, " ← root cause: %s asserted XOFF without being paused itself", n.SenderNode)
+	}
+	b.WriteByte('\n')
+	for i, c := range n.Causes {
+		branch, cont := "├─ ", "│  "
+		if i == len(n.Causes)-1 {
+			branch, cont = "└─ ", "   "
+		}
+		formatPauseNode(b, c, tail+branch, tail+cont)
+	}
+}
+
+func nodeKind(n *PauseNode) string {
+	// A port name equal to its node name is a host NIC port by
+	// construction (link.NewPort(sim, hostName, 0, ...)).
+	if n.Port == n.Node {
+		return "host"
+	}
+	return "switch"
+}
+
+// PauseHorizon is the instant a still-open pause would expire if no
+// XON arrives: the last XOFF plus the PFC quanta duration, capped at
+// the recording horizon.
+func (r *Recorder) PauseHorizon(last simtime.Time) simtime.Time {
+	exp := last.Add(link.DefaultPauseDuration)
+	if exp > r.lastAt {
+		return r.lastAt
+	}
+	return exp
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"dcqcn/internal/flightrec"
 	"dcqcn/internal/invariant"
 )
 
@@ -39,9 +40,12 @@ type Provenance struct {
 	// Invariants records whether the binary was built with -tags
 	// invariants, i.e. whether the conservation auditor was armed in
 	// every chaos run this sweep executed.
-	Invariants bool     `json:"invariants_armed"`
-	Fidelity   string   `json:"fidelity"`
-	Scenarios  []string `json:"scenarios"`
+	Invariants bool `json:"invariants_armed"`
+	// FlightRec records whether the flight recorder was armed (via
+	// flightrec.Arm) for every run this sweep executed.
+	FlightRec bool     `json:"flightrec_armed"`
+	Fidelity  string   `json:"fidelity"`
+	Scenarios []string `json:"scenarios"`
 	// Seeds maps scenario name to its seed list.
 	Seeds     map[string][]int64 `json:"seeds"`
 	TotalRuns int                `json:"total_runs"`
@@ -68,6 +72,7 @@ func NewProvenance(tool string) Provenance {
 		Arch:          runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
 		Invariants:    invariant.Enabled,
+		FlightRec:     flightrec.Armed(),
 		Seeds:         make(map[string][]int64),
 	}
 }

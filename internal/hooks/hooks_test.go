@@ -1,0 +1,54 @@
+package hooks
+
+import "testing"
+
+func TestChainNilPrev(t *testing.T) {
+	var got []int
+	fn := Chain(nil, func(v int) { got = append(got, v) })
+	fn(7)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got %v, want [7]", got)
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	first := func(string) { order = append(order, "first") }
+	second := func(string) { order = append(order, "second") }
+	third := func(string) { order = append(order, "third") }
+	fn := Chain(Chain(first, second), third)
+	fn("x")
+	want := []string{"first", "second", "third"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestChain2And3And4(t *testing.T) {
+	var sum int
+	f2 := Chain2(func(a, b int) { sum += a + b }, func(a, b int) { sum += a * b })
+	f2(2, 3) // 5 + 6
+	if sum != 11 {
+		t.Fatalf("Chain2 sum = %d, want 11", sum)
+	}
+	var calls int
+	f3 := Chain3[int, int, int](nil, func(a, b, c int) { calls++ })
+	f3(1, 2, 3)
+	f3b := Chain3(f3, func(a, b, c int) { calls += 10 })
+	f3b(1, 2, 3)
+	if calls != 12 {
+		t.Fatalf("Chain3 calls = %d, want 12", calls)
+	}
+	var got []string
+	f4 := Chain4(func(a, b, c, d string) { got = append(got, a) },
+		func(a, b, c, d string) { got = append(got, d) })
+	f4("p", "q", "r", "s")
+	if len(got) != 2 || got[0] != "p" || got[1] != "s" {
+		t.Fatalf("Chain4 got %v", got)
+	}
+}

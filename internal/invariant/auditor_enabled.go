@@ -66,23 +66,17 @@ func Attach(net *topology.Network) *Auditor {
 }
 
 // tapSwitchPort arms PFC pairing on arrivals and the full shared-buffer
-// conservation check after every departure of one switch port.
+// conservation check after every departure of one switch port. Hooks
+// are chained, not assigned, so the auditor composes with other passive
+// observers (the flight recorder) on the same ports.
 func (a *Auditor) tapSwitchPort(sw *fabric.Switch, port *link.Port) {
 	pairing := &pfcPairing{}
-	prevRx := port.OnRx
-	port.OnRx = func(p *packet.Packet) {
-		if prevRx != nil {
-			prevRx(p)
-		}
+	port.ChainOnRx(func(p *packet.Packet) {
 		a.checkPFCPairing(pairing, port.Name, p)
-	}
-	prevDep := port.OnDeparture
-	port.OnDeparture = func(p *packet.Packet) {
-		if prevDep != nil {
-			prevDep(p)
-		}
+	})
+	port.ChainOnDeparture(func(p *packet.Packet) {
 		a.checkSwitch(sw)
-	}
+	})
 }
 
 // tapHostPort arms PFC pairing plus the wire-side PSN checks of one
@@ -92,27 +86,19 @@ func (a *Auditor) tapSwitchPort(sw *fabric.Switch, port *link.Port) {
 func (a *Auditor) tapHostPort(h *nic.NIC) {
 	port := h.Port()
 	pairing := &pfcPairing{}
-	prevRx := port.OnRx
-	port.OnRx = func(p *packet.Packet) {
-		if prevRx != nil {
-			prevRx(p)
-		}
+	port.ChainOnRx(func(p *packet.Packet) {
 		a.checkPFCPairing(pairing, port.Name, p)
 		if p.Type == packet.Ack {
 			a.checkAckMonotone(h, p)
 		}
 		a.checkRxBacklog(h)
-	}
-	prevDep := port.OnDeparture
-	port.OnDeparture = func(p *packet.Packet) {
-		if prevDep != nil {
-			prevDep(p)
-		}
+	})
+	port.ChainOnDeparture(func(p *packet.Packet) {
 		if p.Type == packet.Data {
 			a.checkDataContiguity(h, p)
 		}
 		a.checkRxBacklog(h)
-	}
+	})
 }
 
 // report records one violation, keeping the first maxRecorded.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"dcqcn/internal/engine"
+	"dcqcn/internal/hooks"
 	"dcqcn/internal/packet"
 	"dcqcn/internal/simtime"
 )
@@ -90,6 +91,11 @@ type Port struct {
 	// auditor's attachment point): implementations must not schedule
 	// events, draw randomness, or mutate the packet.
 	OnRx func(p *packet.Packet)
+	// OnEnqueue, if set, observes every packet entering an egress FIFO of
+	// this port, before the scheduler is kicked. Strictly passive, same
+	// contract as OnRx; the flight recorder uses it for queue-residency
+	// timelines.
+	OnEnqueue func(p *packet.Packet)
 
 	Stats PortStats
 }
@@ -139,7 +145,28 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	}
 	p.queues[pkt.Priority].push(pkt)
 	p.queuedBytes[pkt.Priority] += int64(pkt.Size)
+	if p.OnEnqueue != nil {
+		p.OnEnqueue(pkt)
+	}
 	p.kick()
+}
+
+// ChainOnRx subscribes fn to the port's OnRx hook without clobbering an
+// earlier subscriber (which keeps running first, in attach order).
+func (p *Port) ChainOnRx(fn func(*packet.Packet)) {
+	p.OnRx = hooks.Chain(p.OnRx, fn)
+}
+
+// ChainOnDeparture subscribes fn to the port's OnDeparture hook without
+// clobbering an earlier subscriber.
+func (p *Port) ChainOnDeparture(fn func(*packet.Packet)) {
+	p.OnDeparture = hooks.Chain(p.OnDeparture, fn)
+}
+
+// ChainOnEnqueue subscribes fn to the port's OnEnqueue hook without
+// clobbering an earlier subscriber.
+func (p *Port) ChainOnEnqueue(fn func(*packet.Packet)) {
+	p.OnEnqueue = hooks.Chain(p.OnEnqueue, fn)
 }
 
 // SendPFC transmits an XOFF (on=true) or XON PFC frame for prio. The
@@ -304,6 +331,31 @@ func (p *Port) accountPauseEnd(prio uint8) {
 	}
 }
 
+// DropReason classifies why a link destroyed a frame, for observers.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropLinkDown: the frame entered a failed cable.
+	DropLinkDown DropReason = iota
+	// DropFaultHook: the fault injector's DropHook took the frame.
+	DropFaultHook
+	// DropRandomLoss: random per-frame corruption (SetLossRate).
+	DropRandomLoss
+	// DropFlapEpoch: a flap occurred while the frame was propagating.
+	DropFlapEpoch
+)
+
+var dropReasonNames = [...]string{"link-down", "fault-hook", "random-loss", "flap-epoch"}
+
+// String names the reason for traces and exports.
+func (r DropReason) String() string {
+	if int(r) < len(dropReasonNames) {
+		return dropReasonNames[r]
+	}
+	return fmt.Sprintf("DropReason(%d)", uint8(r))
+}
+
 // Link is a full-duplex cable between two ports.
 type Link struct {
 	sim   *engine.Sim
@@ -336,6 +388,12 @@ type Link struct {
 	// auxiliary-RNG-driven loss and corruption, so the simulation's
 	// primary random stream stays untouched.
 	DropHook func(from *Port, pkt *packet.Packet) bool
+	// OnDrop, if set, observes every frame the link destroys — down
+	// links, DropHook decisions, random loss and flap-epoch kills —
+	// after the corresponding counters are updated. Strictly passive
+	// (same contract as Port.OnRx); unlike DropHook it cannot influence
+	// the outcome, so observers and the fault injector never conflict.
+	OnDrop func(from *Port, pkt *packet.Packet, reason DropReason)
 	// FaultDrops counts frames dropped by injected faults (down links,
 	// flap transients and DropHook), separately from random Lost frames.
 	//acct: frames dropped by injected faults
@@ -393,16 +451,25 @@ func (l *Link) deliver(from *Port, pkt *packet.Packet) {
 	if l.down {
 		l.FaultDrops++
 		l.faultDropBytes += int64(pkt.Size)
+		if l.OnDrop != nil {
+			l.OnDrop(from, pkt, DropLinkDown)
+		}
 		return
 	}
 	if l.DropHook != nil && l.DropHook(from, pkt) {
 		l.FaultDrops++
 		l.faultDropBytes += int64(pkt.Size)
+		if l.OnDrop != nil {
+			l.OnDrop(from, pkt, DropFaultHook)
+		}
 		return
 	}
 	if l.lossRate > 0 && !pkt.IsControl() && l.sim.Rand().Float64() < l.lossRate {
 		l.Lost++
 		l.lostBytes += int64(pkt.Size)
+		if l.OnDrop != nil {
+			l.OnDrop(from, pkt, DropRandomLoss)
+		}
 		return
 	}
 	epoch := l.epoch
@@ -414,6 +481,9 @@ func (l *Link) deliver(from *Port, pkt *packet.Packet) {
 		if l.epoch != epoch {
 			l.FaultDrops++
 			l.faultDropBytes += int64(pkt.Size)
+			if l.OnDrop != nil {
+				l.OnDrop(from, pkt, DropFlapEpoch)
+			}
 			return
 		}
 		to.receive(pkt)

@@ -156,6 +156,16 @@ type NIC struct {
 	// so unstalling is deterministic (map iteration would not be).
 	stalled []*flowState
 
+	// OnCNPEmit, if set, observes every CNP this NIC sends as a receiver,
+	// at the moment it enters the port. Strictly passive, same contract
+	// as link.Port.OnRx: observers must not schedule events, draw
+	// randomness, or mutate the packet.
+	OnCNPEmit func(p *packet.Packet)
+	// OnRateUpdate, if set, observes every rate change a flow's DCQCN
+	// controller applies (cut or recovery). Strictly passive, same
+	// contract as OnCNPEmit.
+	OnRateUpdate func(flow packet.FlowID, rate simtime.Rate)
+
 	Stats Stats
 }
 
@@ -234,7 +244,12 @@ func (n *NIC) OpenFlow(dst packet.NodeID) *Flow {
 		ctrl: ctrl,
 	}
 	if rp, ok := ctrl.(*core.RP); ok {
-		rp.OnRateChange = func(simtime.Rate) { n.onRateChange(fs) }
+		rp.OnRateChange = func(r simtime.Rate) {
+			n.onRateChange(fs)
+			if n.OnRateUpdate != nil {
+				n.OnRateUpdate(id, r)
+			}
+		}
 	}
 	fs.qp.SetWakeFunc(func() { n.trySend(fs) })
 	n.senders[id] = fs
@@ -528,6 +543,9 @@ func (n *NIC) drainCNPs() {
 func (n *NIC) sendCNP(cnp *packet.Packet) {
 	n.Stats.CNPsSent++
 	n.lastCNPAt = n.sim.Now()
+	if n.OnCNPEmit != nil {
+		n.OnCNPEmit(cnp)
+	}
 	n.port.Enqueue(cnp)
 }
 

@@ -48,11 +48,30 @@ func DefaultOptions() Options {
 	}
 }
 
+// OnBuild, if set, runs at the end of every topology builder (NewStar,
+// NewTestbed, NewRing, NewFatTree), after wiring and route computation.
+// It is the arming point for run-scoped passive observers — the flight
+// recorder sets it once, before any run starts, to attach itself to
+// every network a scenario builds without the scenario knowing. The
+// installed function must follow the passive-observer contract (no
+// scheduled events, no randomness, no model mutation) so an armed run's
+// digest stays bit-identical to an unarmed one. Set it only from a
+// single-threaded setup phase: it is read by parallel sweep workers.
+var OnBuild func(*Network)
+
 // Network is a wired, routed collection of switches and host NICs.
 type Network struct {
 	Sim      *engine.Sim
 	Hosts    map[string]*nic.NIC
 	Switches map[string]*fabric.Switch
+
+	// OnFault, if set, observes fault-injector transitions on this
+	// network: kind and target name the armed fault, phase is "activate"
+	// or "clear", index is the fault's position in the plan. The field
+	// lives here (not on the injector) so passive observers can
+	// subscribe before the injector exists. Strictly passive, same
+	// contract as link.Port.OnRx.
+	OnFault func(index int, kind, target, phase string)
 
 	opts      Options
 	hostOrder []string
@@ -287,7 +306,15 @@ func NewTestbed(seed int64, opts Options) *Network {
 		}
 	}
 	n.ComputeRoutes()
+	n.built()
 	return n
+}
+
+// built fires the OnBuild observer hook; every builder calls it last.
+func (n *Network) built() {
+	if OnBuild != nil {
+		OnBuild(n)
+	}
 }
 
 // NewStar builds hosts H1..Hn around a single switch SW — the rig of the
@@ -300,6 +327,7 @@ func NewStar(seed int64, hosts int, opts Options) *Network {
 		n.AddHost(fmt.Sprintf("H%d", i), sw)
 	}
 	n.ComputeRoutes()
+	n.built()
 	return n
 }
 
@@ -327,6 +355,7 @@ func NewRing(seed int64, n int, opts Options) *Network {
 		net.AddHost(fmt.Sprintf("H%d", i+1), sws[i])
 	}
 	net.ComputeRoutes()
+	net.built()
 	return net
 }
 
@@ -374,5 +403,6 @@ func NewFatTree(seed int64, k int, opts Options) *Network {
 		}
 	}
 	n.ComputeRoutes()
+	n.built()
 	return n
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"dcqcn/internal/core"
+	"dcqcn/internal/flightrec"
 	"dcqcn/internal/nic"
 	"dcqcn/internal/packet"
 	"dcqcn/internal/rocev2"
@@ -257,6 +258,32 @@ func (r *Recorder) Stop() { r.inner.Stop() }
 
 // WriteCSV emits all series as a CSV table.
 func (r *Recorder) WriteCSV(w io.Writer) error { return r.inner.WriteCSV(w) }
+
+// FlightRecorder is the facade over internal/flightrec: a passive,
+// bounded-memory ring of typed simulation events (queue transitions,
+// PFC pauses, drops, ECN marks, CNPs, rate updates) attached to a
+// network's hook surface. Recording never changes the run: an attached
+// network's event digest is bit-identical to a bare one.
+type FlightRecorder struct {
+	inner *flightrec.Recorder
+}
+
+// AttachFlightRecorder arms a flight recorder on this network. Attach
+// before running; query or export after.
+func (n *Network) AttachFlightRecorder() *FlightRecorder {
+	return &FlightRecorder{inner: flightrec.Attach(n.net, flightrec.Config{})}
+}
+
+// EventsRecorded returns how many events the run produced.
+func (r *FlightRecorder) EventsRecorded() int { return r.inner.EventsRecorded() }
+
+// WriteEventsCSV emits every retained event as CSV.
+func (r *FlightRecorder) WriteEventsCSV(w io.Writer) error { return r.inner.WriteCSV(w) }
+
+// WriteChromeTrace emits the retained window as Chrome trace-event
+// JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing.
+func (r *FlightRecorder) WriteChromeTrace(w io.Writer) error { return r.inner.WriteChromeTrace(w) }
 
 // SetLossRate injects per-frame random corruption on every link — the
 // non-congestion loss environment of the paper's §7.
