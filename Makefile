@@ -11,9 +11,9 @@ GO ?= go
 # same code (testdata fixtures are excluded by pattern expansion).
 PKGS ?= ./...
 
-.PHONY: check fmt vet lint build test race faults invariants flightrec bench bench-json sweep-smoke sweep chaos clean
+.PHONY: check fmt vet lint build test race faults invariants flightrec parallel bench bench-json sweep-smoke sweep chaos clean
 
-check: fmt vet lint build faults race invariants flightrec
+check: fmt vet lint build faults race invariants flightrec parallel
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -68,13 +68,27 @@ flightrec:
 	$(GO) run ./cmd/dcqcn-replay -scenario chaos-pause-storm -point 1 \
 		-diff-seed 1 -expect diverged > /dev/null
 
+# Sharded runtime gate (internal/parallel): the package's own tests —
+# partition soundness, merge-order interleaving invariance, fallback
+# paths — under the race detector, then the sharded golden-digest
+# equivalence: all 16 registered scenarios at 2, 4 and 8 shards must
+# produce digests bit-identical to sequential runs. Finishes with a
+# sweep smoke through the -shards CLI path, determinism gate on.
+parallel:
+	$(GO) test -race ./internal/parallel/... ./internal/topology/...
+	$(GO) test -race -run TestGoldenDigestsSharded -count=1 ./internal/experiments/
+	$(GO) run ./cmd/dcqcn-sweep -scenario unfairness -shards 4 -seeds 1 \
+		-check-determinism -quiet -out sweep-out
+
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkSweep -benchtime=1x .
 
-# Flight-recorder overhead comparison (armed vs disarmed incast) as a
-# machine-readable artifact.
+# Machine-readable benchmark artifacts: flight-recorder overhead
+# (armed vs disarmed incast) and the sharded-runtime speedup
+# (sequential vs 2/4/8 shards on a cross-pod incast, digest-checked).
 bench-json:
 	BENCH_JSON=BENCH_5.json $(GO) test -run TestBenchArtifact -v .
+	BENCH_JSON=BENCH_6.json $(GO) test -run TestShardedBenchArtifact -v .
 
 # Quick end-to-end exercise of the harness: one scenario, 4 workers,
 # determinism gate on. Artifacts land in sweep-out/.

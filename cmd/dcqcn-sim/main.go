@@ -7,6 +7,7 @@
 //	dcqcn-sim [-senders 8] [-chunk 2000000] [-duration 50ms] [-seed 1]
 //	          [-mode dcqcn|pfc|nopfc] [-kmin 5000] [-kmax 200000]
 //	          [-pmax 0.01] [-g 0.00390625] [-timer 55us] [-bc 10000000]
+//	          [-shards N]
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	g := flag.Float64("g", 1.0/256, "DCQCN alpha gain g")
 	timer := flag.Duration("timer", 55*time.Microsecond, "rate increase timer")
 	bc := flag.Int64("bc", 10_000_000, "byte counter (bytes)")
+	shards := flag.Int("shards", 0, "shard the simulation across N cores (star rigs cannot split and stay sequential)")
 	flag.Parse()
 
 	params := dcqcn.DefaultParams()
@@ -43,7 +45,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := dcqcn.DefaultOptions().WithDCQCN(params)
+	opts := dcqcn.DefaultOptions().WithDCQCN(params).WithShards(*shards)
 	switch *mode {
 	case "dcqcn":
 	case "pfc":

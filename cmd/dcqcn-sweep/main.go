@@ -12,7 +12,7 @@
 //
 //	dcqcn-sweep [-scenario name,glob*] [-parallel N] [-reruns N]
 //	            [-seeds N] [-out dir] [-full] [-check-determinism]
-//	            [-bench] [-list] [-quiet] [-record]
+//	            [-bench] [-list] [-quiet] [-record] [-shards N]
 //
 // -check-determinism reruns every (point, seed) at least twice and fails
 // loudly unless engine digests and metrics are bit-identical — the gate
@@ -47,6 +47,7 @@ func main() {
 		list     = flag.Bool("list", false, "list scenarios and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress")
 		record   = flag.Bool("record", false, "arm the flight recorder on every run (passivity proof; recorded in provenance)")
+		shards   = flag.Int("shards", 0, "shard each simulation across N cores (internal/parallel; digests unchanged)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 		fid = experiments.Full()
 		fidName = "full"
 	}
+	fid.Shards = *shards
 	reg := harness.NewRegistry()
 	experiments.RegisterScenarios(reg, fid)
 	experiments.RegisterChaosScenarios(reg, fid)
@@ -92,6 +94,7 @@ func main() {
 	prov := harness.NewProvenance("dcqcn-sweep")
 	prov.Parallel = *parallel
 	prov.Reruns = *reruns
+	prov.Shards = *shards
 	prov.Determinism = *checkDet
 	prov.Fidelity = fidName
 	prov.Describe(scs)

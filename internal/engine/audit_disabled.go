@@ -6,4 +6,4 @@ import "dcqcn/internal/simtime"
 
 // auditPop is a no-op outside -tags invariants builds; the call in the
 // run loop inlines away.
-func (s *Sim) auditPop(simtime.Time) {}
+func (c *core) auditPop(simtime.Time) {}

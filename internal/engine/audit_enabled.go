@@ -13,8 +13,8 @@ import (
 // scheduling at the call site, so a violation here means the queue's
 // ordering broke (heap corruption, a mutated Event.At). Compiled only
 // under -tags invariants; release builds pay nothing.
-func (s *Sim) auditPop(at simtime.Time) {
-	if at < s.now {
-		panic(fmt.Sprintf("engine: invariant violation: popped event at %v behind clock %v", at, s.now))
+func (c *core) auditPop(at simtime.Time) {
+	if at < c.now {
+		panic(fmt.Sprintf("engine: invariant violation: popped event at %v behind clock %v", at, c.now))
 	}
 }

@@ -16,7 +16,7 @@ func TestAuditPopPastEvent(t *testing.T) {
 	s := New(1)
 	s.At(simtime.Time(10*simtime.Microsecond), func() {})
 	s.Run(simtime.Time(20 * simtime.Microsecond)) // clock now past 10 µs
-	s.queue.Push(simtime.Time(simtime.Microsecond), func() {})
+	s.c.queue.Push(simtime.Time(simtime.Microsecond), func() {})
 
 	defer func() {
 		r := recover()

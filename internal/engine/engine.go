@@ -1,11 +1,22 @@
 // Package engine implements the discrete-event simulation kernel.
 //
-// A Sim owns the clock, the event queue and the random number source. All
-// model components (links, switches, NICs, traffic generators) schedule
-// callbacks on the Sim; the run loop pops events in timestamp order and
-// executes them. The engine is strictly single-threaded: determinism and
-// the absence of locking are both consequences of that choice, following
-// the design of classical network simulators.
+// A Sim handle fronts a core that owns the clock, the event queue and the
+// random number source. All model components (links, switches, NICs,
+// traffic generators) schedule callbacks through a handle; the run loop
+// pops events in timestamp order and executes them. Each core is strictly
+// single-threaded: determinism and the absence of locking are both
+// consequences of that choice, following the design of classical network
+// simulators.
+//
+// Two handles exist per core. New returns the *control* handle, held by
+// scenario and harness code (tickers, measurement probes, fault
+// transitions); Model returns the *model* handle the topology layer gives
+// to switches, NICs and links. The distinction fixes the equal-time event
+// order (control before arrivals before local model events, see
+// internal/eventq) so that the sharded parallel runtime
+// (internal/parallel) — which runs control events stop-the-world and model
+// events on per-shard cores — executes the same event sequence as a
+// sequential run wherever the order is observable.
 package engine
 
 import (
@@ -16,8 +27,8 @@ import (
 	"dcqcn/internal/simtime"
 )
 
-// Sim is a discrete-event simulator instance.
-type Sim struct {
+// core is one event loop: clock, queue, digest and random source.
+type core struct {
 	now    simtime.Time
 	queue  eventq.Queue
 	rng    *rand.Rand
@@ -25,38 +36,70 @@ type Sim struct {
 	events uint64
 	hash   uint64
 	halted bool
+	pushes uint64 // equal-time ordinal for control/local pushes
+	ids    uint64 // link-direction ID allocator (NextID)
+	runner func(until simtime.Time)
 }
 
-// New creates a simulator whose random source is seeded with seed.
-// Identical seeds (with identical models) produce identical runs.
+// Sim is a scheduling handle onto a simulator core. The zero value is not
+// usable; create instances with New and Model.
+type Sim struct {
+	c     *core
+	class uint8
+}
+
+// New creates a simulator whose random source is seeded with seed and
+// returns its control handle. Identical seeds (with identical models)
+// produce identical runs.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed, hash: fnvOffset64}
+	c := &core{rng: rand.New(rand.NewSource(seed)), seed: seed, hash: fnvOffset64}
+	return &Sim{c: c, class: eventq.ClassControl}
+}
+
+// Model returns the model-class sibling handle sharing this handle's core:
+// events it schedules order after control events at equal timestamps. The
+// topology layer hands it to every component it builds.
+func (s *Sim) Model() *Sim {
+	return &Sim{c: s.c, class: eventq.ClassLocal}
 }
 
 // Now returns the current simulated time.
-func (s *Sim) Now() simtime.Time { return s.now }
+func (s *Sim) Now() simtime.Time { return s.c.now }
 
 // Seed returns the seed the simulator was created with.
-func (s *Sim) Seed() int64 { return s.seed }
+func (s *Sim) Seed() int64 { return s.c.seed }
 
-// Rand returns the simulation's random source. All model randomness must
-// come from here so runs stay reproducible.
-func (s *Sim) Rand() *rand.Rand { return s.rng }
+// Rand returns the simulation's random source. Model components must not
+// draw from it directly — they derive private streams with NewStream so
+// draw order stays independent of event interleaving — but tests and
+// harness code may.
+func (s *Sim) Rand() *rand.Rand { return s.c.rng }
 
 // NewStream returns an additional deterministic random source for
-// auxiliary randomness — workload sizes, placement, ECMP re-rolls —
-// that must not perturb the primary stream (drawing from Rand() shifts
-// every later draw, so interleaving auxiliary and model draws couples
-// them). The stream is a pure function of the argument, independent of
-// the simulator's own seed; pass a run-derived value. Together with New
-// this is the only place the determinism contract permits constructing
-// a rand source (see internal/lint).
+// auxiliary randomness — workload sizes, placement, per-component model
+// draws — that must not perturb the primary stream (drawing from Rand()
+// shifts every later draw, so interleaving auxiliary and model draws
+// couples them). The stream is a pure function of the argument,
+// independent of the simulator's own seed; pass a run- or
+// component-derived value. Together with New this is the only place the
+// determinism contract permits constructing a rand source (see
+// internal/lint).
 func (s *Sim) NewStream(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
+// NextID allocates a small unique ordinal from the core. The link layer
+// uses it to give every link direction an identity that is stable across
+// sequential and sharded runs: topologies are always constructed on the
+// initial core, in program order, before any sharding happens.
+func (s *Sim) NextID() uint64 {
+	id := s.c.ids
+	s.c.ids++
+	return id
+}
+
 // Events returns the number of events executed so far.
-func (s *Sim) Events() uint64 { return s.events }
+func (s *Sim) Events() uint64 { return s.c.events }
 
 // FNV-1a 64-bit constants for the run digest.
 const (
@@ -70,6 +113,11 @@ const (
 // digests; a mismatch means nondeterminism crept in (map iteration,
 // shared RNG, wall-clock leakage). The sweep harness uses this as its
 // determinism gate.
+//
+// Because the ordinal is just the event's position in the time-sorted
+// execution sequence, the digest is a function of the sorted multiset of
+// executed timestamps — which is what lets the sharded runtime reproduce
+// it exactly by merging per-shard executed-event streams in time order.
 type Digest struct {
 	Events uint64 `json:"events"`
 	Hash   uint64 `json:"hash"`
@@ -79,28 +127,57 @@ type Digest struct {
 func (d Digest) String() string { return fmt.Sprintf("%d:%016x", d.Events, d.Hash) }
 
 // Digest returns the run digest accumulated so far.
-func (s *Sim) Digest() Digest { return Digest{Events: s.events, Hash: s.hash} }
+func (s *Sim) Digest() Digest { return Digest{Events: s.c.events, Hash: s.c.hash} }
 
 // mix folds one 64-bit word into the run digest, little-endian byte by
 // byte, exactly as hash/fnv would but without allocations on a hot path.
-func (s *Sim) mix(v uint64) {
-	h := s.hash
+func (c *core) mix(v uint64) {
+	h := c.hash
 	for i := 0; i < 8; i++ {
 		h ^= v & 0xff
 		h *= fnvPrime64
 		v >>= 8
 	}
-	s.hash = h
+	c.hash = h
 }
+
+// fold records one executed event at time t in the digest.
+func (c *core) fold(t simtime.Time) {
+	c.events++
+	c.mix(uint64(t))
+	c.mix(c.events)
+}
+
+// FoldExecuted merges one event executed elsewhere (on a shard core) into
+// this core's digest, as if the run loop had executed it here. The
+// parallel coordinator calls it with every shard-executed event in global
+// time order.
+func (s *Sim) FoldExecuted(t simtime.Time) { s.c.fold(t) }
 
 // At schedules fn to run at absolute time t and returns a cancellable
 // handle. Scheduling in the past panics: it always indicates a model bug,
 // and silently reordering time would corrupt results.
 func (s *Sim) At(t simtime.Time, fn func()) *eventq.Event {
-	if t < s.now {
-		panic(fmt.Sprintf("engine: event scheduled in the past (%v < %v)", t, s.now))
+	if t < s.c.now {
+		panic(fmt.Sprintf("engine: event scheduled in the past (%v < %v)", t, s.c.now))
 	}
-	return s.queue.Push(t, fn)
+	k := eventq.Key{Class: s.class, K1: s.c.pushes}
+	s.c.pushes++
+	return s.c.queue.PushKeyed(t, k, fn)
+}
+
+// AtArrival schedules a link-arrival event: fn runs at time t, ordered at
+// equal timestamps by the link direction ID and the per-direction frame
+// sequence number rather than by insertion order. Those keys are intrinsic
+// to the traffic, so the order is identical whether the sending link
+// endpoint lives on this core (sequential run) or on another shard whose
+// frames are merged in at a window boundary (sharded run).
+func (s *Sim) AtArrival(t simtime.Time, dir, seq uint64, fn func()) *eventq.Event {
+	if t < s.c.now {
+		panic(fmt.Sprintf("engine: arrival scheduled in the past (%v < %v)", t, s.c.now))
+	}
+	k := eventq.Key{Class: eventq.ClassArrival, K1: dir, K2: seq}
+	return s.c.queue.PushKeyed(t, k, fn)
 }
 
 // After schedules fn to run d after the current time.
@@ -108,71 +185,131 @@ func (s *Sim) After(d simtime.Duration, fn func()) *eventq.Event {
 	if d < 0 {
 		panic(fmt.Sprintf("engine: negative delay %v", d))
 	}
-	return s.queue.Push(s.now.Add(d), fn)
+	return s.At(s.c.now.Add(d), fn)
 }
 
 // Cancel removes a pending event. Safe to call with nil or fired events.
-func (s *Sim) Cancel(e *eventq.Event) { s.queue.Cancel(e) }
+func (s *Sim) Cancel(e *eventq.Event) { s.c.queue.Cancel(e) }
 
 // Halt stops the run loop after the current event returns. Pending events
-// remain queued; Run can be called again to continue.
-func (s *Sim) Halt() { s.halted = true }
+// remain queued; Run can be called again to continue. Halt is a
+// sequential-run facility; the sharded runner ignores it.
+func (s *Sim) Halt() { s.c.halted = true }
+
+// SetRunner installs a replacement run loop: Run(until) delegates to fn
+// instead of executing events locally. The parallel runtime installs its
+// window coordinator here after partitioning a topology; fn is expected
+// to drive the shard cores and fold their executed events back into this
+// core so Digest stays faithful.
+func (s *Sim) SetRunner(fn func(until simtime.Time)) { s.c.runner = fn }
 
 // Run executes events until the queue is empty or simulated time would
 // pass until. Events scheduled exactly at until still execute. It returns
-// the number of events executed by this call.
+// the number of events executed by this call. If a runner was installed
+// with SetRunner, Run delegates to it.
 func (s *Sim) Run(until simtime.Time) uint64 {
-	s.halted = false
-	start := s.events
+	if s.c.runner != nil {
+		start := s.c.events
+		s.c.runner(until)
+		return s.c.events - start
+	}
+	return s.RunLocal(until)
+}
+
+// RunLocal is Run without runner delegation: it always executes this
+// core's own queue. The parallel coordinator uses it for stop-the-world
+// control turns; everything else should call Run.
+func (s *Sim) RunLocal(until simtime.Time) uint64 {
+	c := s.c
+	c.halted = false
+	start := c.events
 	for {
-		if s.halted {
+		if c.halted {
 			break
 		}
-		head := s.queue.Peek()
+		head := c.queue.Peek()
 		if head == nil || head.At > until {
 			break
 		}
-		e := s.queue.Pop()
-		s.auditPop(e.At)
-		s.now = e.At
-		s.events++
-		s.mix(uint64(e.At))
-		s.mix(s.events)
+		e := c.queue.Pop()
+		c.auditPop(e.At)
+		c.now = e.At
+		c.fold(e.At)
 		e.Fn()
 	}
 	// Advance the clock to the horizon so measurements made "at the end of
 	// the run" (throughput over the window, etc.) see the full window even
 	// if the last event fired earlier.
-	if s.now < until && until != simtime.Forever {
-		s.now = until
+	if c.now < until && until != simtime.Forever {
+		c.now = until
 	}
-	return s.events - start
+	return c.events - start
+}
+
+// RunWindow executes this core's events with timestamps strictly before
+// horizon and appends each executed event's time to executed, which is
+// returned (pass a reused buffer to avoid allocation). Unlike Run it does
+// not fold the digest — the coordinator folds the merged streams into the
+// control core — and does not advance the clock past the last executed
+// event; the coordinator advances it explicitly with SetNow at each
+// window boundary.
+func (s *Sim) RunWindow(horizon simtime.Time, executed []simtime.Time) []simtime.Time {
+	c := s.c
+	for {
+		head := c.queue.Peek()
+		if head == nil || head.At >= horizon {
+			break
+		}
+		e := c.queue.Pop()
+		c.auditPop(e.At)
+		c.now = e.At
+		executed = append(executed, e.At)
+		e.Fn()
+	}
+	return executed
+}
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// simtime.Forever if the queue is empty.
+func (s *Sim) NextEventTime() simtime.Time {
+	if head := s.c.queue.Peek(); head != nil {
+		return head.At
+	}
+	return simtime.Forever
+}
+
+// SetNow advances the clock to t without executing events; it never moves
+// the clock backwards. The parallel coordinator uses it to keep every
+// core's clock in lockstep at window boundaries.
+func (s *Sim) SetNow(t simtime.Time) {
+	if t > s.c.now {
+		s.c.now = t
+	}
 }
 
 // RunAll executes events until the queue drains completely.
 func (s *Sim) RunAll() uint64 {
-	s.halted = false
-	start := s.events
+	c := s.c
+	c.halted = false
+	start := c.events
 	for {
-		if s.halted {
+		if c.halted {
 			break
 		}
-		e := s.queue.Pop()
+		e := c.queue.Pop()
 		if e == nil {
 			break
 		}
-		s.auditPop(e.At)
-		s.now = e.At
-		s.events++
-		s.mix(uint64(e.At))
-		s.mix(s.events)
+		c.auditPop(e.At)
+		c.now = e.At
+		c.fold(e.At)
 		e.Fn()
 	}
-	return s.events - start
+	return c.events - start
 }
 
 // Pending returns the number of events waiting in the queue.
-func (s *Sim) Pending() int { return s.queue.Len() }
+func (s *Sim) Pending() int { return s.c.queue.Len() }
 
 // Ticker invokes fn every period until the returned stop function is
 // called. The first invocation happens one period from now. fn receives
@@ -193,7 +330,7 @@ func (s *Sim) Ticker(period simtime.Duration, fn func(simtime.Time)) (stop func(
 		// counts it), and stop() called from within fn cancels that
 		// freshly scheduled tick through the shared handle.
 		handle = s.After(period, tick)
-		fn(s.now)
+		fn(s.c.now)
 	}
 	handle = s.After(period, tick)
 	return func() {

@@ -1,43 +1,92 @@
 // Package eventq provides the deterministic priority queue that drives the
 // discrete-event simulator.
 //
-// Events are ordered by timestamp; events with equal timestamps fire in the
-// order they were scheduled (FIFO). This tie-break rule is what makes whole
-// simulations reproducible: two runs with the same inputs execute exactly
-// the same event sequence.
+// Events are ordered by timestamp; events with equal timestamps fire in a
+// deterministic order given by a three-part key the engine assigns. The key
+// is designed to be *mode-independent*: the sharded parallel runtime
+// (internal/parallel) executes each topology shard on its own queue, and
+// any ordering rule based on a single global insertion counter would differ
+// between the sequential and sharded runs. Instead, equal-time events are
+// ordered by
+//
+//	(class, k1, k2)
+//
+// where class separates control-plane events (scenario tickers, fault
+// transitions), link-arrival events, and local model events; link arrivals
+// carry an intrinsic (link direction ID, per-direction frame sequence) key;
+// and local events carry a per-queue scheduling ordinal. Each component of
+// the key is reproducible whether the model runs on one queue or many,
+// which is what makes whole simulations — sequential or sharded —
+// bit-identical.
 package eventq
 
 import "dcqcn/internal/simtime"
+
+// Event classes, in execution order at equal timestamps. Control events
+// fire first so that measurements and fault transitions observe the state
+// *before* same-instant model activity — the same order the sharded
+// runtime naturally produces, because control turns are stop-the-world
+// and run before the window that executes the model events sharing their
+// timestamp. Link arrivals precede local model events: an arrival is the
+// continuation of a departure the far end already committed, so it keeps
+// seniority over work scheduled at its own destination — and its
+// intrinsic (direction, sequence) key lets the sharded runtime inject it
+// at a window boundary into exactly the slot a sequential run would have
+// used.
+const (
+	ClassControl uint8 = iota // scenario/harness/fault-injection events
+	ClassArrival              // frame arrivals at the far end of a link
+	ClassLocal                // everything a model component schedules
+)
+
+// Key orders events that share a timestamp.
+type Key struct {
+	Class  uint8
+	K1, K2 uint64
+}
 
 // Event is a callback scheduled to run at a point in simulated time.
 type Event struct {
 	At simtime.Time
 	Fn func()
 
-	seq   uint64 // insertion order, breaks timestamp ties
-	index int    // heap index, -1 once popped or cancelled
+	key   Key
+	index int // heap index, -1 once popped or cancelled
 }
+
+// Key returns the event's equal-time ordering key (exposed for tests).
+func (e *Event) Key() Key { return e.key }
 
 // Cancelled reports whether the event has been removed from the queue
 // (either cancelled or already fired).
 func (e *Event) Cancelled() bool { return e == nil || e.index < 0 }
 
 // Queue is a binary min-heap of events. The zero value is an empty queue
-// ready for use. Queue is not safe for concurrent use; the simulator is
-// single-threaded by design.
+// ready for use. Queue is not safe for concurrent use; each simulator
+// core is single-threaded by design, and the parallel runtime gives every
+// shard its own queue.
 type Queue struct {
 	heap []*Event
-	seq  uint64
+	ord  uint64 // insertion ordinal for the convenience Push
 }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
-// Push schedules fn at time at and returns a handle that can be passed to
-// Cancel.
+// Push schedules fn at time at as a local-class event whose equal-time
+// order is the insertion order (FIFO), and returns a handle that can be
+// passed to Cancel. The engine supplies richer keys via PushKeyed; direct
+// queue users get the classic deterministic FIFO tie-break.
 func (q *Queue) Push(at simtime.Time, fn func()) *Event {
-	e := &Event{At: at, Fn: fn, seq: q.seq}
-	q.seq++
+	k := Key{Class: ClassLocal, K1: q.ord}
+	q.ord++
+	return q.PushKeyed(at, k, fn)
+}
+
+// PushKeyed schedules fn at time at with the given equal-time key and
+// returns a handle that can be passed to Cancel.
+func (q *Queue) PushKeyed(at simtime.Time, key Key, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, key: key}
 	e.index = len(q.heap)
 	q.heap = append(q.heap, e)
 	q.up(e.index)
@@ -88,12 +137,23 @@ func (q *Queue) Cancel(e *Event) {
 	e.index = -1
 }
 
+// Less reports whether key a orders before key b at equal timestamps.
+func Less(a, b Key) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.K1 != b.K1 {
+		return a.K1 < b.K1
+	}
+	return a.K2 < b.K2
+}
+
 func (q *Queue) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]
 	if a.At != b.At {
 		return a.At < b.At
 	}
-	return a.seq < b.seq
+	return Less(a.key, b.key)
 }
 
 func (q *Queue) swap(i, j int) {

@@ -83,7 +83,7 @@ func BenchmarkRun(cfg BenchmarkConfig, run uint64, fid Fidelity) (BenchmarkResul
 	if depth < 1 {
 		depth = 1
 	}
-	net := topologyTestbed(cfg.Mode, run)
+	net := topologyTestbed(cfg.Mode, run, fid.Shards)
 	open := openFlow(net)
 	// Placement and workload randomness come from a dedicated engine
 	// stream (determinism contract: no private rand.New sources outside
@@ -127,19 +127,30 @@ func BenchmarkRun(cfg BenchmarkConfig, run uint64, fid Fidelity) (BenchmarkResul
 	// flow (new QP, new UDP source port), as the paper's request
 	// traffic does — over a million distinct flows in its trace —
 	// so every request re-rolls ECMP and starts at line rate.
+	//
+	// Per-pair state only: transfer sizes come from a pair-private
+	// stream and samples land in a pair-private bucket, merged in pair
+	// order after the run. The completion callbacks run on the sending
+	// host's core, so in a sharded run pairs on different shards must
+	// not share an RNG or a sample slice — and draw order staying
+	// per-pair is also what keeps the workload identical between
+	// sequential and sharded execution.
+	userSamples := make([]stats.Sample, cfg.Pairs)
 	for i := 0; i < cfg.Pairs; i++ {
 		src := hosts[rng.Intn(len(hosts))]
 		dst := src
 		for dst == src {
 			dst = hosts[rng.Intn(len(hosts))]
 		}
+		pairRng := net.Sim.NewStream(int64(run)*6151 + int64(i+1)*16807 + 29)
+		pair := &userSamples[i]
 		var post func()
 		post = func() {
 			flow := open(src, dst)
-			size := dist.Sample(rng)
+			size := dist.Sample(pairRng)
 			flow.PostMessage(size, func(c rocev2.Completion) {
-				if net.Sim.Now() >= warmEnd && c.Size >= cfg.MinUserSample {
-					res.User.Add(float64(c.Throughput()))
+				if c.DoneAt >= warmEnd && c.Size >= cfg.MinUserSample {
+					pair.Add(float64(c.Throughput()))
 				}
 				flow.Close()
 				post()
@@ -149,6 +160,9 @@ func BenchmarkRun(cfg BenchmarkConfig, run uint64, fid Fidelity) (BenchmarkResul
 	}
 
 	net.Sim.Run(simtime.Time(fid.Warmup + fid.Duration))
+	for i := range userSamples {
+		res.User.Merge(&userSamples[i])
+	}
 	for _, m := range meters {
 		res.Incast.Add(float64(simtime.RateFromBytes(m.bytes-m.base, fid.Duration)))
 	}

@@ -13,6 +13,10 @@ import (
 
 	"dcqcn/internal/core"
 	"dcqcn/internal/nic"
+
+	// Register the sharded runtime: any scenario built with
+	// Options.Shards > 1 runs on the parallel coordinator.
+	_ "dcqcn/internal/parallel"
 	"dcqcn/internal/rocev2"
 	"dcqcn/internal/simtime"
 	"dcqcn/internal/topology"
@@ -63,6 +67,11 @@ type Fidelity struct {
 	Warmup simtime.Duration
 	// Runs is the number of random repetitions (seeds) per data point.
 	Runs int
+	// Shards, when > 1, runs each simulation sharded across that many
+	// cores (internal/parallel). Results and digests are bit-identical
+	// to sequential runs; topologies that cannot split (stars) fall
+	// back to sequential quietly.
+	Shards int
 }
 
 // Quick returns the fidelity used by tests and benchmarks.

@@ -113,26 +113,26 @@ func goldenFid() Fidelity {
 // running the sweep CLI's -check-determinism gate. On intentional model
 // changes, re-pin from the table the failure message prints.
 var goldenDigests = map[string]string{
-	"unfairness":        "134832:b0afe067b565872e",
-	"victimflow":        "327218:feaec20f85a57601",
+	"unfairness":        "134341:c4827a5f42258f5a",
+	"victimflow":        "327336:a2d8ae301c9a421f",
 	"convergence-fig13": "77428:791384209ba24bad",
-	"incast":            "19880:e55aa54b9a0757b6",
-	"benchmark-fig16":   "863997:9e2d0fc1e976250c",
-	"fig18":             "806415:3a9ab7b50493b7a6",
-	"ablation-g":        "42205:c9309e0326c35cb5",
-	"ablation-rai":      "58462:5f52a1eb1b3cd65e",
-	"ablation-timer":    "110685:4be8db24c7329dbe",
-	"ablation-cnp":      "114995:f541550c4d73aef5",
+	"incast":            "16354:4de53a4836f8926d",
+	"benchmark-fig16":   "904023:e40f142e2c82b575",
+	"fig18":             "636381:cf764d7017e7041b",
+	"ablation-g":        "42008:1d65cbf579a9ad6b",
+	"ablation-rai":      "58443:f010bbe2887ce660",
+	"ablation-timer":    "98779:b75ae60629812b26",
+	"ablation-cnp":      "103709:cee22b0459ac7f71",
 	"randomloss":        "63473:6cfed2a6db7bd1a6",
 
 	// Chaos suite: digests cover the fault-injection subsystem too — an
 	// injector that drew from the primary stream or armed transitions
 	// nondeterministically would shift these.
-	"chaos-pause-storm":    "63291:274936f85097f20f",
-	"chaos-flap-incast":    "68463:b7058c36d00b6f2f",
-	"chaos-lossy-link":     "11891:3f1f9dffdbd3947f",
-	"chaos-victim-storm":   "244330:9a3bde85abf0b636",
-	"chaos-deadlock-probe": "270781:4c76ba0ad81eef52",
+	"chaos-pause-storm":    "63538:b9bdad35a1b87048",
+	"chaos-flap-incast":    "68496:f81572c870421fcf",
+	"chaos-lossy-link":     "11656:e5cf5705e45b4d58",
+	"chaos-victim-storm":   "242323:28b68082a545f006",
+	"chaos-deadlock-probe": "270759:cc3f6b9fe61858d9",
 }
 
 func TestGoldenDigests(t *testing.T) {

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"dcqcn/internal/harness"
+)
+
+// TestGoldenDigestsSharded is the parallel runtime's contract test: every
+// registered scenario, run sharded across 2, 4 and 8 cores, must produce
+// an engine digest bit-identical to the sequential run. Star-topology
+// scenarios exercise the quiet fallback (Partition clamps to one shard);
+// the testbed and ring scenarios genuinely split. The sequential digests
+// are computed fresh rather than read from the golden table so this test
+// isolates sharding bugs from intentional model changes.
+func TestGoldenDigestsSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded equivalence sweep is not short")
+	}
+	run := func(fid Fidelity) map[string]string {
+		reg := testRegistry(t, fid)
+		got := make(map[string]string)
+		for _, sc := range reg.All() {
+			res := sc.Run(harness.RunContext{
+				Scenario: sc.Name,
+				Point:    sc.Points[0],
+				PointIdx: 0,
+				Seed:     0,
+			})
+			got[sc.Name] = res.Digest.String()
+		}
+		return got
+	}
+	sequential := run(goldenFid())
+	for _, shards := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			fid := goldenFid()
+			fid.Shards = shards
+			for name, got := range run(fid) {
+				if want := sequential[name]; got != want {
+					t.Errorf("scenario %q at %d shards: %s", name, shards, diagnoseDigest(got, want))
+				}
+			}
+		})
+	}
+}

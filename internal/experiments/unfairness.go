@@ -58,14 +58,17 @@ func UnfairnessRun(mode Mode, run uint64, fid Fidelity) ([]*stats.Sample, engine
 	for i := range samples {
 		samples[i] = &stats.Sample{}
 	}
-	net := topologyTestbed(mode, run)
+	net := topologyTestbed(mode, run, fid.Shards)
 	open := openFlow(net)
 	warmEnd := simtime.Time(fid.Warmup)
 	for i, h := range hosts {
 		i := i
 		flow := open(h, receiver)
 		repostLoop(flow, 4*1000*1000, func(c rocev2.Completion) {
-			if net.Sim.Now() >= warmEnd {
+			// Gate on the completion's own timestamp, not the control
+			// clock: in a sharded run this callback executes on the
+			// sender's shard core, where DoneAt is the current time.
+			if c.DoneAt >= warmEnd {
 				samples[i].Add(float64(c.Throughput()))
 			}
 		})
@@ -77,8 +80,9 @@ func UnfairnessRun(mode Mode, run uint64, fid Fidelity) ([]*stats.Sample, engine
 // topologyTestbed builds the Fig. 2 testbed for a mode and run index;
 // both the RNG seed and the ECMP hash seeds vary per run, as the paper's
 // repeated runs re-roll ECMP placement.
-func topologyTestbed(mode Mode, run uint64) *topology.Network {
+func topologyTestbed(mode Mode, run uint64, shards int) *topology.Network {
 	opts := options(mode, run*7919+1)
+	opts.Shards = shards
 	return topology.NewTestbed(int64(run)*104729+7, opts)
 }
 
@@ -139,7 +143,7 @@ func VictimFlow(mode Mode, sendersUnderT3 []int, fid Fidelity) VictimFlowResult 
 // engine digest.
 func VictimFlowRun(mode Mode, extra int, run uint64, fid Fidelity) (*stats.Sample, engine.Digest) {
 	victim := &stats.Sample{}
-	net := topologyTestbed(mode, run)
+	net := topologyTestbed(mode, run, fid.Shards)
 	open := openFlow(net)
 	warmEnd := simtime.Time(fid.Warmup)
 	// Incast: H11..H14 -> R(H41). The transfers are large (long
@@ -155,7 +159,7 @@ func VictimFlowRun(mode Mode, extra int, run uint64, fid Fidelity) (*stats.Sampl
 	}
 	// Victim: VS(H15, under T1) -> VR(H25, under T2).
 	repostLoop(open("H15", "H25"), 2*1000*1000, func(c rocev2.Completion) {
-		if net.Sim.Now() >= warmEnd {
+		if c.DoneAt >= warmEnd {
 			victim.Add(float64(c.Throughput()))
 		}
 	})

@@ -16,6 +16,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/rand"
 
 	"dcqcn/internal/buffercalc"
 	"dcqcn/internal/core"
@@ -89,6 +90,13 @@ type Switch struct {
 	sim *engine.Sim
 	cfg Config
 	cp  *core.CP
+	// markRng drives probabilistic ECN marking. Each switch owns a
+	// private stream (derived from the simulation seed and the switch
+	// ID) so marking decisions depend only on the traffic this switch
+	// sees, not on how events interleave across the fabric — the
+	// property that lets the parallel runtime run switches on different
+	// cores and still reproduce the sequential run bit for bit.
+	markRng *rand.Rand
 
 	ports []*link.Port
 	// routes maps destination node -> candidate egress ports (ECMP set).
@@ -130,12 +138,14 @@ func New(sim *engine.Sim, id packet.NodeID, name string, nPorts int, cfg Config)
 	if cfg.Spec.Validate() != nil && cfg.PFCEnabled {
 		panic(fmt.Sprintf("fabric: invalid switch spec for %s", name))
 	}
+	markRng := sim.NewStream(markStreamSeed(sim.Seed(), id))
 	sw := &Switch{
 		Name:    name,
 		ID:      id,
 		sim:     sim,
 		cfg:     cfg,
-		cp:      core.NewCP(cfg.Marking, sim.Rand().Float64),
+		cp:      core.NewCP(cfg.Marking, markRng.Float64),
+		markRng: markRng,
 		routes:  make(map[packet.NodeID][]int),
 		ingress: make([][packet.NumPriorities]int64, nPorts),
 		pausing: make([][packet.NumPriorities]bool, nPorts),
@@ -150,6 +160,22 @@ func New(sim *engine.Sim, id packet.NodeID, name string, nPorts int, cfg Config)
 		sw.ports = append(sw.ports, port)
 	}
 	return sw
+}
+
+// markStreamSeed derives the per-switch marking stream seed from the
+// simulation seed and the switch's node ID.
+func markStreamSeed(seed int64, id packet.NodeID) int64 {
+	return int64(uint64(seed)*0x9E3779B97F4A7C15 ^ (uint64(id)+1)*0x887237b65895041b)
+}
+
+// Rebind moves the switch — its scheduler and all its ports — onto
+// another simulator core. The parallel runtime calls it while assigning
+// a freshly built topology to shards, before any events exist.
+func (s *Switch) Rebind(sim *engine.Sim) {
+	s.sim = sim
+	for _, p := range s.ports {
+		p.Rebind(sim)
+	}
 }
 
 // Port returns port i for wiring by the topology layer.
@@ -218,12 +244,12 @@ func (s *Switch) SetStaticPFCThreshold(t int64) {
 }
 
 // SetMarking replaces the RED/ECN profile at run time (misconfiguration
-// skew: one switch marking at the wrong thresholds). The marking RNG
-// keeps drawing from the simulation's primary stream, so determinism is
-// unaffected.
+// skew: one switch marking at the wrong thresholds). The new profile
+// keeps drawing from the switch's own marking stream where the old one
+// left off, so determinism is unaffected.
 func (s *Switch) SetMarking(p core.Params) {
 	s.cfg.Marking = p
-	s.cp = core.NewCP(p, s.sim.Rand().Float64)
+	s.cp = core.NewCP(p, s.markRng.Float64)
 }
 
 // pfcThreshold returns the XOFF threshold in force right now.

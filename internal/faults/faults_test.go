@@ -126,8 +126,8 @@ func TestPacketLossInjectsFromAuxStream(t *testing.T) {
 	if o.Injected == 0 {
 		t.Fatal("loss fault dropped nothing at 5% over a busy window")
 	}
-	if l := net.HostLink("H1"); l.FaultDrops != o.Injected {
-		t.Fatalf("link FaultDrops %d != outcome Injected %d", l.FaultDrops, o.Injected)
+	if l := net.HostLink("H1"); l.FaultDrops() != o.Injected {
+		t.Fatalf("link FaultDrops %d != outcome Injected %d", l.FaultDrops(), o.Injected)
 	}
 	st := f.Stats()
 	if st.Retransmits == 0 || st.RetransmitBytes == 0 {

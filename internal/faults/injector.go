@@ -2,7 +2,6 @@ package faults
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dcqcn/internal/link"
 	"dcqcn/internal/packet"
@@ -24,16 +23,19 @@ import (
 // injector never touches.
 type Injector struct {
 	net      *topology.Network
-	rng      *rand.Rand
+	auxSeed  int64
 	outcomes []Outcome
 	armed    bool
 }
 
-// NewInjector builds an injector whose loss draws come from the
-// network's simulation via Sim.NewStream(auxSeed): a pure function of
-// the run's seed and auxSeed, independent of the primary stream.
+// NewInjector builds an injector whose loss draws come from auxiliary
+// streams derived from auxSeed via Sim.NewStream: pure functions of
+// auxSeed and each fault's plan index, independent of the primary
+// stream. Each lossy fault gets its own stream so draw order does not
+// couple faults on different links — which also keeps the draws
+// shard-local when the parallel runtime splits the topology.
 func NewInjector(net *topology.Network, auxSeed int64) *Injector {
-	return &Injector{net: net, rng: net.Sim.NewStream(auxSeed)}
+	return &Injector{net: net, auxSeed: auxSeed}
 }
 
 // Arm validates the plan and schedules every activation, transition and
@@ -122,7 +124,7 @@ func (in *Injector) armFlap(spec Spec, o *Outcome, start, end simtime.Time) {
 	sim.At(start, func() {
 		o.activate(sim.Now())
 		in.observe(o, "activate")
-		before = l.FaultDrops
+		before = l.FaultDrops()
 	})
 	for k := 0; k < cycles; k++ {
 		at := start.Add(simtime.Duration(k) * cycle)
@@ -131,7 +133,7 @@ func (in *Injector) armFlap(spec Spec, o *Outcome, start, end simtime.Time) {
 	}
 	sim.At(end, func() {
 		l.SetDown(false) // idempotent; guarantees the link is restored
-		o.Injected = l.FaultDrops - before
+		o.Injected = l.FaultDrops() - before
 		o.clear(sim.Now())
 		in.observe(o, "clear")
 	})
@@ -143,6 +145,7 @@ func (in *Injector) armFlap(spec Spec, o *Outcome, start, end simtime.Time) {
 func (in *Injector) armLoss(spec Spec, o *Outcome, start, end simtime.Time) {
 	l := in.net.HostLink(spec.Target)
 	sim := in.net.Sim
+	rng := sim.NewStream(in.auxSeed + int64(o.Index+1)*0x6A09E667F3BCC909)
 	sim.At(start, func() {
 		o.activate(sim.Now())
 		in.observe(o, "activate")
@@ -150,7 +153,7 @@ func (in *Injector) armLoss(spec Spec, o *Outcome, start, end simtime.Time) {
 			if pkt.IsControl() {
 				return false
 			}
-			if in.rng.Float64() < spec.LossRate {
+			if rng.Float64() < spec.LossRate {
 				o.Injected++
 				return true
 			}

@@ -13,6 +13,7 @@ package link
 
 import (
 	"fmt"
+	"math/rand"
 
 	"dcqcn/internal/engine"
 	"dcqcn/internal/hooks"
@@ -111,6 +112,12 @@ func NewPort(sim *engine.Sim, name string, index int, rate simtime.Rate, recv Re
 
 // Rate returns the port's line rate.
 func (p *Port) Rate() simtime.Rate { return p.rate }
+
+// Rebind moves the port onto another simulator core. The parallel runtime
+// calls it while partitioning a freshly built topology, before any events
+// exist; rebinding a port with traffic in progress would strand its
+// pending transmit events on the old core.
+func (p *Port) Rebind(sim *engine.Sim) { p.sim = sim }
 
 // Peer returns the port at the other end of the link, or nil if unwired.
 func (p *Port) Peer() *Port { return p.peer }
@@ -356,30 +363,65 @@ func (r DropReason) String() string {
 	return fmt.Sprintf("DropReason(%d)", uint8(r))
 }
 
+// Transport carries one direction of a link across a shard boundary in
+// the parallel runtime: instead of scheduling the arrival on the sender's
+// own core, deliver hands the arrival continuation — with its absolute
+// arrival time and intrinsic (direction ID, frame sequence) ordering key —
+// to the transport, which the coordinator later injects into the
+// destination shard's queue via Sim.AtArrival. Sequential runs never set
+// a transport; the default path schedules locally with the same key.
+type Transport interface {
+	Send(at simtime.Time, dir, seq uint64, fn func())
+}
+
 // Link is a full-duplex cable between two ports.
+//
+// Per-direction state is kept in two-element arrays indexed by direction
+// (0 = a→b, 1 = b→a, matching Ports). The split is what makes a link
+// safe to straddle a shard boundary: direction d's source-side fields
+// (frame sequence, bytes sent, entry-drop counters, loss stream) are only
+// touched by the sending shard, and its destination-side fields (bytes
+// arrived, flap-kill counters) only by the receiving shard, so no word is
+// written from two cores.
 type Link struct {
-	sim   *engine.Sim
 	a, b  *Port
 	delay simtime.Duration
+
+	// dirID gives each direction a topology-wide identity (allocated from
+	// the construction core), and dirSeq numbers the frames entering the
+	// wire in each direction. Together they are the intrinsic equal-time
+	// ordering key for arrival events — reproducible whether the arrival
+	// is scheduled locally or merged across a shard boundary.
+	dirID  [2]uint64
+	dirSeq [2]uint64
+	// xport, if set for a direction, carries that direction's arrivals to
+	// another shard. nil means the destination port shares the sender's
+	// core and arrivals are scheduled directly.
+	xport [2]Transport
 
 	// lossRate is the probability an individual frame is corrupted in
 	// flight (per direction), modelling the non-congestion losses the
 	// paper's §7 discusses (optical errors, silent switch drops). PFC
 	// control frames are link-local and never dropped: real PFC frames
 	// are tiny and protected, and losing one would model a different
-	// failure (a misbehaving device) rather than bit errors.
+	// failure (a misbehaving device) rather than bit errors. Each
+	// direction draws from its own stream (seeded from the simulation
+	// seed and the direction ID) so loss decisions do not depend on how
+	// events interleave across the rest of the fabric.
 	lossRate float64
-	// Lost counts frames dropped by loss injection.
-	//acct: frames dropped by random loss
-	Lost int64
-	//acct: bytes dropped by random loss
-	lostBytes int64
+	lossRng  [2]*rand.Rand
+	//acct: frames dropped by random loss, per direction
+	lost [2]int64
+	//acct: bytes dropped by random loss, per direction
+	lostBytes [2]int64
 
 	// down models a failed cable (fault injection): while set, every
 	// frame entering the link is lost, and frames already propagating
 	// when the link went down never arrive (their photons died with the
 	// cable). epoch increments on every state change so in-flight
-	// deliveries can detect that a flap happened under them.
+	// deliveries can detect that a flap happened under them. Fault
+	// transitions run as control events — stop-the-world in the parallel
+	// runtime — so model code only ever reads these fields.
 	down  bool
 	epoch uint64
 	// DropHook, if set, is consulted for every frame entering the link
@@ -394,18 +436,23 @@ type Link struct {
 	// (same contract as Port.OnRx); unlike DropHook it cannot influence
 	// the outcome, so observers and the fault injector never conflict.
 	OnDrop func(from *Port, pkt *packet.Packet, reason DropReason)
-	// FaultDrops counts frames dropped by injected faults (down links,
-	// flap transients and DropHook), separately from random Lost frames.
-	//acct: frames dropped by injected faults
-	FaultDrops int64
-	//acct: bytes dropped by injected faults
-	faultDropBytes int64
-	//acct: bytes serialized onto the wire and not yet arrived or dropped
-	inFlight int64
+	//acct: frames dropped by injected faults on entry (down links, DropHook), per direction
+	entryFaultDrops [2]int64
+	//acct: frames killed in flight by a flap, per direction
+	flapFaultDrops [2]int64
+	//acct: bytes dropped by injected faults on entry, per direction
+	entryFaultDropBytes [2]int64
+	//acct: bytes killed in flight by a flap, per direction
+	flapFaultDropBytes [2]int64
+	//acct: bytes serialized onto the wire, per direction (written by the sender side)
+	sentBytes [2]int64
+	//acct: bytes whose propagation ended, arrived or flap-killed, per direction (written by the receiver side)
+	arrivedBytes [2]int64
 }
 
 // Connect wires ports a and b with the given one-way propagation delay.
-// Both ports must be unconnected.
+// Both ports must be unconnected. sim must be the core the topology is
+// being constructed on; it allocates the direction IDs and loss streams.
 func Connect(sim *engine.Sim, a, b *Port, delay simtime.Duration) *Link {
 	if a.Connected() || b.Connected() {
 		panic("link: port already connected")
@@ -413,11 +460,31 @@ func Connect(sim *engine.Sim, a, b *Port, delay simtime.Duration) *Link {
 	if delay < 0 {
 		panic("link: negative propagation delay")
 	}
-	l := &Link{sim: sim, a: a, b: b, delay: delay}
+	l := &Link{a: a, b: b, delay: delay}
+	for d := range l.dirID {
+		l.dirID[d] = sim.NextID()
+		l.lossRng[d] = sim.NewStream(lossStreamSeed(sim.Seed(), l.dirID[d]))
+	}
 	a.link, a.peer = l, b
 	b.link, b.peer = l, a
 	return l
 }
+
+// lossStreamSeed derives the per-direction loss stream seed from the
+// simulation seed and the direction's topology-wide ID (splitmix-style
+// multipliers keep nearby inputs decorrelated).
+func lossStreamSeed(seed int64, dir uint64) int64 {
+	return int64(uint64(seed)*0x9E3779B97F4A7C15 ^ (dir+1)*0xD6E8FEB86659FD93)
+}
+
+// SetTransport installs a cross-shard transport for one direction
+// (0 = a→b, 1 = b→a, matching Ports). The parallel runtime calls it for
+// every link the partitioner cut; passing nil restores local delivery.
+func (l *Link) SetTransport(dir int, t Transport) { l.xport[dir] = t }
+
+// DirID returns the topology-wide identity of one direction (0 = a→b,
+// 1 = b→a), used as the primary equal-time ordering key of its arrivals.
+func (l *Link) DirID(dir int) uint64 { return l.dirID[dir] }
 
 // Delay returns the one-way propagation delay.
 func (l *Link) Delay() simtime.Duration { return l.delay }
@@ -425,12 +492,25 @@ func (l *Link) Delay() simtime.Duration { return l.delay }
 // Ports returns the link's two endpoints.
 func (l *Link) Ports() (*Port, *Port) { return l.a, l.b }
 
+// Lost returns the frames dropped by random loss injection (both
+// directions).
+func (l *Link) Lost() int64 { return l.lost[0] + l.lost[1] }
+
 // LostBytes returns the bytes dropped by random loss injection.
-func (l *Link) LostBytes() int64 { return l.lostBytes }
+func (l *Link) LostBytes() int64 { return l.lostBytes[0] + l.lostBytes[1] }
+
+// FaultDrops returns the frames dropped by injected faults (down links,
+// flap transients and DropHook), separately from random Lost frames.
+func (l *Link) FaultDrops() int64 {
+	return l.entryFaultDrops[0] + l.entryFaultDrops[1] + l.flapFaultDrops[0] + l.flapFaultDrops[1]
+}
 
 // FaultDropBytes returns the bytes dropped by injected faults (down
 // links, flap transients and DropHook).
-func (l *Link) FaultDropBytes() int64 { return l.faultDropBytes }
+func (l *Link) FaultDropBytes() int64 {
+	return l.entryFaultDropBytes[0] + l.entryFaultDropBytes[1] +
+		l.flapFaultDropBytes[0] + l.flapFaultDropBytes[1]
+}
 
 // InFlightBytes returns the bytes currently propagating on the wire:
 // serialized by a transmitter but not yet arrived (or retroactively
@@ -440,54 +520,68 @@ func (l *Link) FaultDropBytes() int64 { return l.faultDropBytes }
 //	aTx + bTx == aRx + bRx + LostBytes + FaultDropBytes + InFlightBytes
 //
 // which the invariant auditor checks at end of run.
-func (l *Link) InFlightBytes() int64 { return l.inFlight }
+func (l *Link) InFlightBytes() int64 {
+	var f int64
+	for d := 0; d < 2; d++ {
+		f += l.sentBytes[d] - l.arrivedBytes[d]
+	}
+	return f
+}
 
 // deliver schedules arrival of pkt at the far end of the link.
 func (l *Link) deliver(from *Port, pkt *packet.Packet) {
-	to := l.a
-	if from == l.a {
-		to = l.b
+	d, to := 0, l.b
+	if from == l.b {
+		d, to = 1, l.a
 	}
 	if l.down {
-		l.FaultDrops++
-		l.faultDropBytes += int64(pkt.Size)
+		l.entryFaultDrops[d]++
+		l.entryFaultDropBytes[d] += int64(pkt.Size)
 		if l.OnDrop != nil {
 			l.OnDrop(from, pkt, DropLinkDown)
 		}
 		return
 	}
 	if l.DropHook != nil && l.DropHook(from, pkt) {
-		l.FaultDrops++
-		l.faultDropBytes += int64(pkt.Size)
+		l.entryFaultDrops[d]++
+		l.entryFaultDropBytes[d] += int64(pkt.Size)
 		if l.OnDrop != nil {
 			l.OnDrop(from, pkt, DropFaultHook)
 		}
 		return
 	}
-	if l.lossRate > 0 && !pkt.IsControl() && l.sim.Rand().Float64() < l.lossRate {
-		l.Lost++
-		l.lostBytes += int64(pkt.Size)
+	if l.lossRate > 0 && !pkt.IsControl() && l.lossRng[d].Float64() < l.lossRate {
+		l.lost[d]++
+		l.lostBytes[d] += int64(pkt.Size)
 		if l.OnDrop != nil {
 			l.OnDrop(from, pkt, DropRandomLoss)
 		}
 		return
 	}
 	epoch := l.epoch
-	l.inFlight += int64(pkt.Size)
-	l.sim.After(l.delay, func() {
-		l.inFlight -= int64(pkt.Size)
+	l.sentBytes[d] += int64(pkt.Size)
+	seq := l.dirSeq[d]
+	l.dirSeq[d]++
+	at := from.sim.Now().Add(l.delay)
+	arrive := func() {
+		l.arrivedBytes[d] += int64(pkt.Size)
 		// A flap while the frame was propagating kills it, even if the
 		// link is back up by the time the last bit would have arrived.
 		if l.epoch != epoch {
-			l.FaultDrops++
-			l.faultDropBytes += int64(pkt.Size)
+			l.flapFaultDrops[d]++
+			l.flapFaultDropBytes[d] += int64(pkt.Size)
 			if l.OnDrop != nil {
 				l.OnDrop(from, pkt, DropFlapEpoch)
 			}
 			return
 		}
 		to.receive(pkt)
-	})
+	}
+	if x := l.xport[d]; x != nil {
+		x.Send(at, l.dirID[d], seq, arrive)
+		return
+	}
+	from.sim.AtArrival(at, l.dirID[d], seq, arrive)
 }
 
 // SetDown fails (true) or restores (false) the cable. Going down drops

@@ -333,8 +333,8 @@ func TestLossInjection(t *testing.T) {
 	if got < 800 || got > 1200 {
 		t.Fatalf("with 50%% loss delivered %d of 2000", got)
 	}
-	if lk.Lost+int64(got) != 2000 {
-		t.Fatalf("conservation: lost %d + delivered %d != 2000", lk.Lost, got)
+	if lk.Lost()+int64(got) != 2000 {
+		t.Fatalf("conservation: lost %d + delivered %d != 2000", lk.Lost(), got)
 	}
 	// PFC frames are never dropped (RunAll drains past the pause expiry,
 	// so check receipt rather than the transient paused state).

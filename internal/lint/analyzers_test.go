@@ -35,7 +35,7 @@ func TestSimtime(t *testing.T) {
 }
 
 func TestNoconc(t *testing.T) {
-	analysistest.Run(t, lint.Noconc, "noconc/model", "noconc/harness")
+	analysistest.Run(t, lint.Noconc, "noconc/model", "noconc/harness", "noconc/parallel")
 }
 
 func TestEventpast(t *testing.T) {

@@ -1,0 +1,23 @@
+// Package parallel sits under the noconc-exempt "parallel" path
+// element: the sharded runtime's worker goroutines and channel barriers
+// are the one sanctioned use of concurrency around model state, so the
+// constructs that fail in model packages pass here unreported. Other
+// determinism analyzers still apply to real internal/parallel code;
+// only the single-threaded rule is waived.
+package parallel
+
+func windows(horizons []int) {
+	cmd := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		for h := range cmd {
+			_ = h
+			done <- struct{}{}
+		}
+	}()
+	for _, h := range horizons {
+		cmd <- h
+		<-done
+	}
+	close(cmd)
+}

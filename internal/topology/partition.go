@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"dcqcn/internal/fabric"
+	"dcqcn/internal/link"
+	"dcqcn/internal/nic"
+)
+
+// Partition assigns every device in a network to one of a small number of
+// shards, for the parallel runtime. Hosts always share their ToR's shard,
+// so host links never cross a shard boundary; only fabric links can.
+type Partition struct {
+	// Shards is the effective shard count: the requested count clamped to
+	// the number of host-bearing switches (a star topology can never split).
+	Shards int
+	// SwitchShard and HostShard map device names to shard indices. Every
+	// switch and every host appears in exactly one shard.
+	SwitchShard map[string]int
+	HostShard   map[string]int
+	// Cross lists the fabric links whose endpoints landed in different
+	// shards, in wiring order.
+	Cross []CrossLink
+}
+
+// CrossLink is a fabric link cut by the partition. A and B are the shards
+// of the link's two ports in link direction order: direction 0 carries
+// frames from A's endpoint to B's, direction 1 the reverse.
+type CrossLink struct {
+	Link *link.Link
+	A, B int
+}
+
+// Partition computes a k-way partition of the network: host-bearing
+// switches are split into contiguous blocks in creation order (pods and
+// neighboring ToRs stay together in every builder this package provides),
+// transit switches join the shard they have the most links into, and
+// hosts follow their ToR. The result is deterministic — it depends only
+// on the wiring, never on execution — so sequential and sharded runs
+// agree on it.
+func (n *Network) Partition(k int) Partition {
+	var bearers []string
+	for _, name := range n.swOrder {
+		if len(n.attached[n.Switches[name]]) > 0 {
+			bearers = append(bearers, name)
+		}
+	}
+	eff := k
+	if eff > len(bearers) {
+		eff = len(bearers)
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	p := Partition{
+		Shards:      eff,
+		SwitchShard: make(map[string]int, len(n.swOrder)),
+		HostShard:   make(map[string]int, len(n.hostOrder)),
+	}
+	for i, name := range bearers {
+		p.SwitchShard[name] = i * eff / len(bearers)
+	}
+	// Transit switches (no attached hosts): repeatedly sweep the fabric in
+	// creation order, assigning each unassigned switch to the shard its
+	// already-assigned neighbors most connect it to (ties to the lowest
+	// shard). Sweeping until quiescence handles chains of transit switches.
+	for {
+		progress := false
+		for _, name := range n.swOrder {
+			if _, done := p.SwitchShard[name]; done {
+				continue
+			}
+			counts := make([]int, eff)
+			any := false
+			for _, e := range n.neighbors[n.Switches[name]] {
+				if s, ok := p.SwitchShard[e.peer.Name]; ok {
+					counts[s]++
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			best := 0
+			for s := 1; s < eff; s++ {
+				if counts[s] > counts[best] {
+					best = s
+				}
+			}
+			p.SwitchShard[name] = best
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	// Switches in components with no hosts at all: park them on shard 0.
+	for _, name := range n.swOrder {
+		if _, ok := p.SwitchShard[name]; !ok {
+			p.SwitchShard[name] = 0
+		}
+	}
+	for _, tor := range n.swOrder {
+		s := p.SwitchShard[tor]
+		for _, he := range n.attached[n.Switches[tor]] {
+			p.HostShard[he.host.Name] = s
+		}
+	}
+	for i, l := range n.fabricLinks {
+		a, b := n.fabricEnds[i][0], n.fabricEnds[i][1]
+		sa, sb := p.SwitchShard[a.Name], p.SwitchShard[b.Name]
+		if sa != sb {
+			p.Cross = append(p.Cross, CrossLink{Link: l, A: sa, B: sb})
+		}
+	}
+	return p
+}
+
+// ShardSwitches returns the switches assigned to shard s, in creation
+// order. The parallel runtime rebinds each onto its shard core.
+func (n *Network) ShardSwitches(p Partition, s int) []*fabric.Switch {
+	var out []*fabric.Switch
+	for _, name := range n.swOrder {
+		if p.SwitchShard[name] == s {
+			out = append(out, n.Switches[name])
+		}
+	}
+	return out
+}
+
+// ShardHosts returns the hosts assigned to shard s, in creation order.
+func (n *Network) ShardHosts(p Partition, s int) []*nic.NIC {
+	var out []*nic.NIC
+	for _, name := range n.hostOrder {
+		if p.HostShard[name] == s {
+			out = append(out, n.Hosts[name])
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package topology
+
+import (
+	"testing"
+)
+
+// coverage checks the partition's basic soundness on any network: every
+// switch and every host lands in exactly one shard, shard indices are in
+// range, hosts share their ToR's shard, and Cross lists exactly the
+// fabric links whose endpoints disagree.
+func checkPartition(t *testing.T, n *Network, p Partition) {
+	t.Helper()
+	if p.Shards < 1 {
+		t.Fatalf("effective shard count %d < 1", p.Shards)
+	}
+	for _, name := range n.swOrder {
+		s, ok := p.SwitchShard[name]
+		if !ok {
+			t.Errorf("switch %q assigned to no shard", name)
+		}
+		if s < 0 || s >= p.Shards {
+			t.Errorf("switch %q on out-of-range shard %d (of %d)", name, s, p.Shards)
+		}
+	}
+	if len(p.SwitchShard) != len(n.swOrder) {
+		t.Errorf("%d switch assignments for %d switches", len(p.SwitchShard), len(n.swOrder))
+	}
+	for _, name := range n.hostOrder {
+		s, ok := p.HostShard[name]
+		if !ok {
+			t.Errorf("host %q assigned to no shard", name)
+		}
+		if s < 0 || s >= p.Shards {
+			t.Errorf("host %q on out-of-range shard %d (of %d)", name, s, p.Shards)
+		}
+	}
+	if len(p.HostShard) != len(n.hostOrder) {
+		t.Errorf("%d host assignments for %d hosts", len(p.HostShard), len(n.hostOrder))
+	}
+	// Hosts follow their ToR, so no host link is ever cut.
+	for _, tor := range n.swOrder {
+		for _, he := range n.attached[n.Switches[tor]] {
+			if p.HostShard[he.host.Name] != p.SwitchShard[tor] {
+				t.Errorf("host %q on shard %d, its ToR %q on shard %d",
+					he.host.Name, p.HostShard[he.host.Name], tor, p.SwitchShard[tor])
+			}
+		}
+	}
+	// Cross is exactly the set of fabric links with disagreeing endpoint
+	// shards, in wiring order.
+	want := 0
+	for i := range n.fabricLinks {
+		a, b := n.fabricEnds[i][0], n.fabricEnds[i][1]
+		sa, sb := p.SwitchShard[a.Name], p.SwitchShard[b.Name]
+		if sa != sb {
+			if want >= len(p.Cross) {
+				t.Fatalf("cut link %s-%s missing from Cross", a.Name, b.Name)
+			}
+			cl := p.Cross[want]
+			if cl.Link != n.fabricLinks[i] || cl.A != sa || cl.B != sb {
+				t.Errorf("Cross[%d] = {%v %d %d}, want link %s-%s shards %d/%d",
+					want, cl.Link, cl.A, cl.B, a.Name, b.Name, sa, sb)
+			}
+			want++
+		}
+	}
+	if want != len(p.Cross) {
+		t.Errorf("Cross has %d entries, wiring says %d links are cut", len(p.Cross), want)
+	}
+	// Every device must be reachable through ShardSwitches/ShardHosts.
+	sw, hosts := 0, 0
+	for s := 0; s < p.Shards; s++ {
+		sw += len(n.ShardSwitches(p, s))
+		hosts += len(n.ShardHosts(p, s))
+	}
+	if sw != len(n.swOrder) || hosts != len(n.hostOrder) {
+		t.Errorf("shard listings cover %d switches / %d hosts, network has %d / %d",
+			sw, hosts, len(n.swOrder), len(n.hostOrder))
+	}
+}
+
+func TestPartitionTestbed(t *testing.T) {
+	n := NewTestbed(1, DefaultOptions())
+	p := n.Partition(2)
+	checkPartition(t, n, p)
+	if p.Shards != 2 {
+		t.Fatalf("testbed split into %d shards, want 2", p.Shards)
+	}
+	// The four ToRs are the host bearers; contiguous halves keep T1/T2
+	// (one pod) apart from T3/T4 (the other). Leaves follow their pod's
+	// ToRs; the spines connect to both pods equally and tie-break to
+	// shard 0.
+	wantShard := map[string]int{
+		"T1": 0, "T2": 0, "L1": 0, "L2": 0, "S1": 0, "S2": 0,
+		"T3": 1, "T4": 1, "L3": 1, "L4": 1,
+	}
+	for sw, want := range wantShard {
+		if got := p.SwitchShard[sw]; got != want {
+			t.Errorf("switch %s on shard %d, want %d", sw, got, want)
+		}
+	}
+	// The cut: each spine's links into pod 2's leaves (L3, L4).
+	if len(p.Cross) != 4 {
+		t.Errorf("testbed 2-way cut has %d links, want 4 (2 spines x 2 pod-2 leaves)", len(p.Cross))
+	}
+}
+
+func TestPartitionStarNeverSplits(t *testing.T) {
+	n := NewStar(1, 8, DefaultOptions())
+	for _, k := range []int{1, 2, 8} {
+		p := n.Partition(k)
+		checkPartition(t, n, p)
+		if p.Shards != 1 {
+			t.Errorf("star Partition(%d) produced %d shards, want 1", k, p.Shards)
+		}
+		if len(p.Cross) != 0 {
+			t.Errorf("star Partition(%d) cut %d links, want 0", k, len(p.Cross))
+		}
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	n := NewTestbed(1, DefaultOptions())
+	p := n.Partition(1)
+	checkPartition(t, n, p)
+	if p.Shards != 1 || len(p.Cross) != 0 {
+		t.Fatalf("1-way partition: shards=%d cross=%d, want 1 and 0", p.Shards, len(p.Cross))
+	}
+	// Requesting more shards than host-bearing switches clamps.
+	p = n.Partition(64)
+	checkPartition(t, n, p)
+	if p.Shards != 4 {
+		t.Fatalf("testbed Partition(64) clamped to %d shards, want 4 (one per ToR)", p.Shards)
+	}
+}
+
+func TestPartitionRingAndFatTree(t *testing.T) {
+	ring := NewRing(1, 4, DefaultOptions())
+	p := ring.Partition(2)
+	checkPartition(t, ring, p)
+	if p.Shards != 2 || len(p.Cross) == 0 {
+		t.Fatalf("ring(4) 2-way: shards=%d cross=%d, want a real cut", p.Shards, len(p.Cross))
+	}
+
+	ft := NewFatTree(1, 4, DefaultOptions())
+	for _, k := range []int{2, 4} {
+		p := ft.Partition(k)
+		checkPartition(t, ft, p)
+		if p.Shards != k {
+			t.Errorf("fat tree Partition(%d) produced %d shards", k, p.Shards)
+		}
+	}
+}
+
+// TestPartitionDeterministic: partitioning depends only on wiring, so
+// rebuilding the same topology must reproduce the same assignment.
+func TestPartitionDeterministic(t *testing.T) {
+	a := NewFatTree(1, 4, DefaultOptions()).Partition(3)
+	b := NewFatTree(2, 4, DefaultOptions()).Partition(3)
+	if len(a.SwitchShard) != len(b.SwitchShard) {
+		t.Fatalf("assignment sizes differ")
+	}
+	for name, s := range a.SwitchShard {
+		if b.SwitchShard[name] != s {
+			t.Errorf("switch %q: shard %d vs %d across rebuilds", name, s, b.SwitchShard[name])
+		}
+	}
+	for name, s := range a.HostShard {
+		if b.HostShard[name] != s {
+			t.Errorf("host %q: shard %d vs %d across rebuilds", name, s, b.HostShard[name])
+		}
+	}
+}

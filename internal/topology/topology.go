@@ -35,6 +35,13 @@ type Options struct {
 	ECMPSeedBase uint64
 	// HostsPerToR is used by NewTestbed (the paper's benchmark uses 5).
 	HostsPerToR int
+	// Shards requests sharded parallel execution: the finished topology is
+	// partitioned into up to Shards shards, each driven by its own core,
+	// synchronized conservatively on cross-shard link delay (see
+	// internal/parallel, which registers the Sharder hook). 0 or 1 means
+	// sequential. Sharded and sequential runs of the same model and seed
+	// produce bit-identical digests.
+	Shards int
 }
 
 // DefaultOptions returns the paper's testbed defaults.
@@ -59,8 +66,20 @@ func DefaultOptions() Options {
 // single-threaded setup phase: it is read by parallel sweep workers.
 var OnBuild func(*Network)
 
+// Sharder, if set, partitions a finished topology across cores when
+// Options.Shards > 1. It is registered (once, from an init function) by
+// internal/parallel; the indirection keeps this package — and every model
+// package below it — free of any dependency on the parallel runtime.
+// Builders call it from built(), before OnBuild observers attach.
+var Sharder func(*Network, int)
+
 // Network is a wired, routed collection of switches and host NICs.
 type Network struct {
+	// Sim is the control handle: scenario, harness and fault-injection
+	// code schedules through it. Components are built on the model-class
+	// sibling handle (msim) so equal-time ordering between control and
+	// model events is fixed by class, not by insertion order — see
+	// internal/eventq.
 	Sim      *engine.Sim
 	Hosts    map[string]*nic.NIC
 	Switches map[string]*fabric.Switch
@@ -74,12 +93,14 @@ type Network struct {
 	OnFault func(index int, kind, target, phase string)
 
 	opts      Options
+	msim      *engine.Sim // model-class handle components schedule on
 	hostOrder []string
 	swOrder   []string
 	nextID    packet.NodeID
 
 	hostLinks   map[string]*link.Link
 	fabricLinks []*link.Link
+	fabricEnds  [][2]*fabric.Switch // endpoints of fabricLinks, same order
 
 	// adjacency for route computation
 	swIndex   map[*fabric.Switch]int
@@ -100,8 +121,10 @@ type hostEdge struct {
 
 // NewNetwork creates an empty network on a fresh simulator.
 func NewNetwork(seed int64, opts Options) *Network {
+	sim := engine.New(seed)
 	return &Network{
-		Sim:       engine.New(seed),
+		Sim:       sim,
+		msim:      sim.Model(),
 		Hosts:     make(map[string]*nic.NIC),
 		Switches:  make(map[string]*fabric.Switch),
 		hostLinks: make(map[string]*link.Link),
@@ -121,7 +144,7 @@ func (n *Network) AddSwitch(name string, ports int) *fabric.Switch {
 	}
 	cfg := n.opts.Switch
 	cfg.ECMPSeed = n.opts.ECMPSeedBase*2654435761 + uint64(len(n.swOrder)+1)*0x9e3779b97f4a7c15
-	sw := fabric.New(n.Sim, n.allocID(), name, ports, cfg)
+	sw := fabric.New(n.msim, n.allocID(), name, ports, cfg)
 	n.Switches[name] = sw
 	n.swOrder = append(n.swOrder, name)
 	n.swIndex[sw] = len(n.swOrder) - 1
@@ -133,9 +156,9 @@ func (n *Network) AddHost(name string, tor *fabric.Switch) *nic.NIC {
 	if _, dup := n.Hosts[name]; dup {
 		panic("topology: duplicate host " + name)
 	}
-	h := nic.New(n.Sim, n.allocID(), name, n.opts.NIC)
+	h := nic.New(n.msim, n.allocID(), name, n.opts.NIC)
 	port := n.takePort(tor)
-	n.hostLinks[name] = link.Connect(n.Sim, h.Port(), tor.Port(port), n.opts.HostLinkDelay)
+	n.hostLinks[name] = link.Connect(n.msim, h.Port(), tor.Port(port), n.opts.HostLinkDelay)
 	n.attached[tor] = append(n.attached[tor], hostEdge{host: h, port: port})
 	n.Hosts[name] = h
 	n.hostOrder = append(n.hostOrder, name)
@@ -145,7 +168,8 @@ func (n *Network) AddHost(name string, tor *fabric.Switch) *nic.NIC {
 // ConnectSwitches wires a fabric link between two switches.
 func (n *Network) ConnectSwitches(a, b *fabric.Switch) {
 	pa, pb := n.takePort(a), n.takePort(b)
-	n.fabricLinks = append(n.fabricLinks, link.Connect(n.Sim, a.Port(pa), b.Port(pb), n.opts.FabricLinkDelay))
+	n.fabricLinks = append(n.fabricLinks, link.Connect(n.msim, a.Port(pa), b.Port(pb), n.opts.FabricLinkDelay))
+	n.fabricEnds = append(n.fabricEnds, [2]*fabric.Switch{a, b})
 	n.neighbors[a] = append(n.neighbors[a], edge{peer: b, port: pa})
 	n.neighbors[b] = append(n.neighbors[b], edge{peer: a, port: pb})
 }
@@ -310,8 +334,15 @@ func NewTestbed(seed int64, opts Options) *Network {
 	return n
 }
 
-// built fires the OnBuild observer hook; every builder calls it last.
+// built finishes construction: it shards the network if requested, then
+// fires the OnBuild observer hook. Every builder calls it last.
 func (n *Network) built() {
+	if n.opts.Shards > 1 {
+		if Sharder == nil {
+			panic("topology: Options.Shards > 1 but no sharder registered — import dcqcn/internal/parallel")
+		}
+		Sharder(n, n.opts.Shards)
+	}
 	if OnBuild != nil {
 		OnBuild(n)
 	}

@@ -1,0 +1,113 @@
+package dcqcn
+
+// Sharded-runtime benchmarks: one large cross-pod incast on the Fig. 2
+// testbed, run sequentially and sharded across 2, 4 and 8 cores via
+// WithShards. The ns/op ratios are the conservative-parallel speedup;
+// `make bench-json` runs all four via TestShardedBenchArtifact and
+// writes the comparison — digests included, since the speedup claim is
+// only interesting if the sharded runs are bit-identical — to
+// BENCH_6.json.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// shardedIncastRun drives the benchmark workload: every host of a
+// 9-hosts-per-ToR testbed (36 hosts) outside the receiver's ToR sends
+// 2 MB rebuild reads to H11 in a closed loop — a 27:1 incast crossing
+// the shardable pod boundary — for 10 ms simulated. Returns the digest.
+func shardedIncastRun(shards int) string {
+	sim := NewTestbedNetwork(1, DefaultOptions().WithHostsPerToR(9).WithShards(shards))
+	recv := sim.Host("H11")
+	for _, name := range sim.HostNames() {
+		if name[1] == '1' { // receiver's ToR: H11..H19
+			continue
+		}
+		flow := sim.Host(name).OpenFlow(recv.NodeID())
+		var post func()
+		post = func() { flow.PostMessage(2e6, func(Completion) { post() }) }
+		post()
+	}
+	sim.RunFor(10 * Millisecond)
+	return sim.Digest()
+}
+
+func benchShardedIncast(b *testing.B, shards int) {
+	for i := 0; i < b.N; i++ {
+		shardedIncastRun(shards)
+	}
+}
+
+// BenchmarkShardedIncastSequential is the baseline single-core run.
+func BenchmarkShardedIncastSequential(b *testing.B) { benchShardedIncast(b, 0) }
+
+// BenchmarkShardedIncast2 / 4 / 8 run the same simulation sharded.
+func BenchmarkShardedIncast2(b *testing.B) { benchShardedIncast(b, 2) }
+func BenchmarkShardedIncast4(b *testing.B) { benchShardedIncast(b, 4) }
+func BenchmarkShardedIncast8(b *testing.B) { benchShardedIncast(b, 8) }
+
+// TestShardedBenchArtifact times the sequential and sharded runs under
+// testing.Benchmark and writes the comparison as JSON to the path in
+// $BENCH_JSON (skipped when unset — this is the `make bench-json` entry
+// point, not part of the normal suite). It fails outright if any
+// sharded digest deviates from the sequential one: a fast wrong answer
+// is not a speedup.
+func TestShardedBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to write the benchmark artifact")
+	}
+	want := shardedIncastRun(0)
+	type point struct {
+		Shards  int     `json:"shards"`
+		NsOp    int64   `json:"ns_per_op"`
+		Speedup float64 `json:"speedup_vs_sequential"`
+	}
+	// NumCPU is recorded because the speedup is only meaningful relative
+	// to the cores available: on a single-core machine every sharded run
+	// degrades to sequential-plus-coordination and the expected ratio is
+	// slightly below 1.
+	art := struct {
+		Benchmark string  `json:"benchmark"`
+		NumCPU    int     `json:"num_cpu"`
+		Digest    string  `json:"digest"`
+		Identical bool    `json:"digests_identical"`
+		Points    []point `json:"points"`
+	}{Benchmark: "sharded-incast-27to1-testbed-10ms", NumCPU: runtime.NumCPU(), Digest: want, Identical: true}
+
+	var seqNs int64
+	for _, shards := range []int{0, 2, 4, 8} {
+		if got := shardedIncastRun(shards); got != want {
+			t.Errorf("shards=%d digest %s, want %s", shards, got, want)
+			art.Identical = false
+		}
+		r := testing.Benchmark(func(b *testing.B) { benchShardedIncast(b, shards) })
+		p := point{Shards: shards, NsOp: r.NsPerOp()}
+		if shards == 0 {
+			seqNs = p.NsOp
+		}
+		if seqNs > 0 {
+			p.Speedup = float64(seqNs) / float64(p.NsOp)
+		}
+		art.Points = append(art.Points, p)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range art.Points {
+		t.Logf("shards=%d: %d ns/op (%.2fx)", p.Shards, p.NsOp, p.Speedup)
+	}
+}

@@ -7,6 +7,10 @@ import (
 	"dcqcn/internal/flightrec"
 	"dcqcn/internal/nic"
 	"dcqcn/internal/packet"
+
+	// Register the sharded runtime so WithShards takes effect on
+	// topologies that can split.
+	_ "dcqcn/internal/parallel"
 	"dcqcn/internal/rocev2"
 	"dcqcn/internal/simtime"
 	"dcqcn/internal/topology"
@@ -71,6 +75,15 @@ func (o Options) WithHostsPerToR(n int) Options {
 	return o
 }
 
+// WithShards runs the simulation sharded across up to n cores
+// (internal/parallel). Results and event digests are bit-identical to a
+// sequential run; topologies that cannot split — a star has a single
+// switch — quietly stay sequential.
+func (o Options) WithShards(n int) Options {
+	o.inner.Shards = n
+	return o
+}
+
 // Network is a built, routed simulation: hosts, switches and the clock.
 type Network struct {
 	net *topology.Network
@@ -108,6 +121,11 @@ func (n *Network) RunFor(d Duration) { n.net.Sim.Run(n.net.Sim.Now().Add(d)) }
 
 // RunUntil advances the simulation to absolute time t.
 func (n *Network) RunUntil(t Time) { n.net.Sim.Run(t) }
+
+// Digest returns the engine's event digest as "events:hash". Equal
+// seeds and workloads produce equal digests — sequential or sharded —
+// which is how the tests pin determinism.
+func (n *Network) Digest() string { return n.net.Sim.Digest().String() }
 
 // At schedules fn at absolute simulated time t.
 func (n *Network) At(t Time, fn func()) { n.net.Sim.At(t, fn) }
