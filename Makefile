@@ -11,7 +11,7 @@ GO ?= go
 # same code (testdata fixtures are excluded by pattern expansion).
 PKGS ?= ./...
 
-.PHONY: check fmt vet lint build test race faults invariants flightrec parallel bench bench-json sweep-smoke sweep chaos clean
+.PHONY: check fmt vet lint build test race faults invariants flightrec parallel escape escape-update alloc-budgets bench bench-json sweep-smoke sweep chaos clean
 
 check: fmt vet lint build faults race invariants flightrec parallel
 
@@ -24,9 +24,32 @@ vet:
 
 # Contract static analysis (internal/lint). Determinism family:
 # walltime, globalrand, maporder, floateq, simtime. Physics family:
-# noconc, eventpast, acctfield. Suppressions live in lint.json.
+# noconc, eventpast, acctfield. Allocation family: hotalloc, hotdefer,
+# hotchain over //hot:path functions and the hot packages. Suppressions
+# live in lint.json; the second step diffs the compiler's actual escape
+# decisions for the hot packages against escape.golden, so a new heap
+# escape fails the gate even if no AST pattern caught it.
 lint:
 	$(GO) run ./cmd/dcqcn-lint $(PKGS)
+	$(GO) run ./cmd/dcqcn-lint -escape
+
+# The escape audit on its own: rebuild the hot packages with
+# -gcflags=-m and diff heap-escape decisions against escape.golden.
+escape:
+	$(GO) run ./cmd/dcqcn-lint -escape
+
+# Regenerate escape.golden after an intentional allocation change.
+# Review the diff — every added line is a new heap allocation on a hot
+# path and needs a //hot:allow waiver with a reason.
+escape-update:
+	$(GO) run ./cmd/dcqcn-lint -escape -update
+
+# The pinned allocs/op budgets (non-race builds only; the race detector
+# perturbs allocation counts). `race` and `test` compile these too —
+# this target names a budget regression explicitly.
+alloc-budgets:
+	$(GO) test -run 'TestAllocBudget' -count=1 ./internal/eventq/ \
+		./internal/link/ ./internal/fabric/ ./internal/flightrec/
 
 build:
 	$(GO) build ./...
@@ -84,11 +107,14 @@ bench:
 	$(GO) test -run=NONE -bench=BenchmarkSweep -benchtime=1x .
 
 # Machine-readable benchmark artifacts: flight-recorder overhead
-# (armed vs disarmed incast) and the sharded-runtime speedup
-# (sequential vs 2/4/8 shards on a cross-pod incast, digest-checked).
+# (armed vs disarmed incast), the sharded-runtime speedup (sequential
+# vs 2/4/8 shards on a cross-pod incast, digest-checked), and the
+# hot-path allocation budgets (ns/op + allocs/op for eventq push/pop,
+# link transmit, switch forward, recorder append).
 bench-json:
 	BENCH_JSON=BENCH_5.json $(GO) test -run TestBenchArtifact -v .
 	BENCH_JSON=BENCH_6.json $(GO) test -run TestShardedBenchArtifact -v .
+	BENCH_JSON=$(CURDIR)/BENCH_7.json $(GO) test -run TestAllocBudgetArtifact -v ./internal/flightrec/
 
 # Quick end-to-end exercise of the harness: one scenario, 4 workers,
 # determinism gate on. Artifacts land in sweep-out/.

@@ -1,13 +1,14 @@
 // Command dcqcn-lint is the determinism- and physics-contract
 // multichecker: it runs the internal/lint analyzers (walltime,
-// globalrand, maporder, floateq, simtime, noconc, eventpast, acctfield)
-// over the requested packages and exits non-zero on findings.
-// `make lint` wires it into `make check`, so contract violations fail
-// before any simulation runs.
+// globalrand, maporder, floateq, simtime, noconc, eventpast, acctfield,
+// hotalloc, hotdefer, hotchain) over the requested packages and exits
+// non-zero on findings. `make lint` wires it into `make check`, so
+// contract violations fail before any simulation runs.
 //
 // Usage:
 //
 //	dcqcn-lint [-json] [-config file] [-analyzers a,b] [packages...]
+//	dcqcn-lint -escape [-update] [-escape-golden file]
 //
 // Packages default to ./... . The optional config file holds
 // per-package suppressions with recorded reasons:
@@ -17,7 +18,17 @@
 //	   "reason": "compares quantized values produced by the same expression"}
 //	]}
 //
-// Exit status: 0 clean, 1 findings, 2 usage or analysis failure.
+// A suppression that no longer silences anything is reported as stale
+// (exit 3): every entry in lint.json must keep paying its way.
+//
+// -escape switches to the escape-analysis audit: the compiler's heap
+// decisions inside //hot:path functions of the designated hot packages
+// (internal/escape) are diffed against the committed escape.golden; a
+// new escape in the event loop fails with a site-level diff. -update
+// rewrites the golden after an intentional change.
+//
+// Exit status: 0 clean, 1 findings or escape diff, 2 usage or analysis
+// failure, 3 stale suppressions (and no findings).
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"os"
 	"strings"
 
+	"dcqcn/internal/escape"
 	"dcqcn/internal/lint"
 	"dcqcn/internal/lint/analysis"
 	"dcqcn/internal/lint/load"
@@ -41,8 +53,11 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	configPath := fs.String("config", "", "suppression config file (JSON); default: lint.json beside go.mod if present")
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	escapeMode := fs.Bool("escape", false, "audit compiler escape decisions in //hot:path functions against the golden")
+	escapeUpdate := fs.Bool("update", false, "with -escape: rewrite the golden from the current tree")
+	escapeGolden := fs.String("escape-golden", "escape.golden", "with -escape: golden file to diff against")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: dcqcn-lint [flags] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: dcqcn-lint [flags] [packages...]\n       dcqcn-lint -escape [-update]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(fs.Output(), "  %-11s %s\n", a.Name, a.Doc)
 		}
@@ -50,6 +65,14 @@ func run(args []string) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *escapeMode {
+		return runEscape(*escapeGolden, *escapeUpdate)
+	}
+	if *escapeUpdate {
+		fmt.Fprintln(os.Stderr, "dcqcn-lint: -update requires -escape")
 		return 2
 	}
 
@@ -75,7 +98,7 @@ func run(args []string) int {
 		return 2
 	}
 
-	findings, err := lint.Run(pkgs, analyzers, cfg)
+	findings, stale, err := lint.RunWithStale(pkgs, analyzers, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
 		return 2
@@ -96,10 +119,55 @@ func run(args []string) int {
 			fmt.Println(f)
 		}
 	}
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "dcqcn-lint: stale suppression: %s on %s silences nothing (reason was: %s) — remove it from lint.json\n",
+			s.Analyzer, s.Package, s.Reason)
+	}
 	if len(findings) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(os.Stderr, "dcqcn-lint: %d finding(s)\n", len(findings))
 		}
+		return 1
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "dcqcn-lint: %d stale suppression(s)\n", len(stale))
+		return 3
+	}
+	return 0
+}
+
+// runEscape audits the compiler's escape decisions over the designated
+// hot packages against the committed golden (or rewrites it).
+func runEscape(goldenPath string, update bool) int {
+	got, err := escape.Analyze(".", lint.HotPackages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+		return 2
+	}
+	if update {
+		if err := os.WriteFile(goldenPath, []byte(got.Format()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+			return 2
+		}
+		fmt.Printf("dcqcn-lint: wrote %s (%d hot-path escape sites)\n", goldenPath, len(got.Sites))
+		return 0
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcqcn-lint: %v (run dcqcn-lint -escape -update to create it)\n", err)
+		return 2
+	}
+	golden, err := escape.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+		return 2
+	}
+	diffs := escape.Compare(golden, got)
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "dcqcn-lint: escape audit: %d divergence(s) from %s\n", len(diffs), goldenPath)
 		return 1
 	}
 	return 0

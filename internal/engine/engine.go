@@ -64,6 +64,8 @@ func (s *Sim) Model() *Sim {
 }
 
 // Now returns the current simulated time.
+//
+//hot:path
 func (s *Sim) Now() simtime.Time { return s.c.now }
 
 // Seed returns the seed the simulator was created with.
@@ -131,6 +133,8 @@ func (s *Sim) Digest() Digest { return Digest{Events: s.c.events, Hash: s.c.hash
 
 // mix folds one 64-bit word into the run digest, little-endian byte by
 // byte, exactly as hash/fnv would but without allocations on a hot path.
+//
+//hot:path
 func (c *core) mix(v uint64) {
 	h := c.hash
 	for i := 0; i < 8; i++ {
@@ -142,6 +146,8 @@ func (c *core) mix(v uint64) {
 }
 
 // fold records one executed event at time t in the digest.
+//
+//hot:path
 func (c *core) fold(t simtime.Time) {
 	c.events++
 	c.mix(uint64(t))
@@ -152,11 +158,15 @@ func (c *core) fold(t simtime.Time) {
 // this core's digest, as if the run loop had executed it here. The
 // parallel coordinator calls it with every shard-executed event in global
 // time order.
+//
+//hot:path
 func (s *Sim) FoldExecuted(t simtime.Time) { s.c.fold(t) }
 
 // At schedules fn to run at absolute time t and returns a cancellable
 // handle. Scheduling in the past panics: it always indicates a model bug,
 // and silently reordering time would corrupt results.
+//
+//hot:path
 func (s *Sim) At(t simtime.Time, fn func()) *eventq.Event {
 	if t < s.c.now {
 		panic(fmt.Sprintf("engine: event scheduled in the past (%v < %v)", t, s.c.now))
@@ -172,6 +182,8 @@ func (s *Sim) At(t simtime.Time, fn func()) *eventq.Event {
 // to the traffic, so the order is identical whether the sending link
 // endpoint lives on this core (sequential run) or on another shard whose
 // frames are merged in at a window boundary (sharded run).
+//
+//hot:path
 func (s *Sim) AtArrival(t simtime.Time, dir, seq uint64, fn func()) *eventq.Event {
 	if t < s.c.now {
 		panic(fmt.Sprintf("engine: arrival scheduled in the past (%v < %v)", t, s.c.now))
@@ -181,6 +193,8 @@ func (s *Sim) AtArrival(t simtime.Time, dir, seq uint64, fn func()) *eventq.Even
 }
 
 // After schedules fn to run d after the current time.
+//
+//hot:path
 func (s *Sim) After(d simtime.Duration, fn func()) *eventq.Event {
 	if d < 0 {
 		panic(fmt.Sprintf("engine: negative delay %v", d))
@@ -189,6 +203,8 @@ func (s *Sim) After(d simtime.Duration, fn func()) *eventq.Event {
 }
 
 // Cancel removes a pending event. Safe to call with nil or fired events.
+//
+//hot:path
 func (s *Sim) Cancel(e *eventq.Event) { s.c.queue.Cancel(e) }
 
 // Halt stops the run loop after the current event returns. Pending events
@@ -219,6 +235,8 @@ func (s *Sim) Run(until simtime.Time) uint64 {
 // RunLocal is Run without runner delegation: it always executes this
 // core's own queue. The parallel coordinator uses it for stop-the-world
 // control turns; everything else should call Run.
+//
+//hot:path
 func (s *Sim) RunLocal(until simtime.Time) uint64 {
 	c := s.c
 	c.halted = false
@@ -253,6 +271,8 @@ func (s *Sim) RunLocal(until simtime.Time) uint64 {
 // control core — and does not advance the clock past the last executed
 // event; the coordinator advances it explicitly with SetNow at each
 // window boundary.
+//
+//hot:path
 func (s *Sim) RunWindow(horizon simtime.Time, executed []simtime.Time) []simtime.Time {
 	c := s.c
 	for {
@@ -271,6 +291,8 @@ func (s *Sim) RunWindow(horizon simtime.Time, executed []simtime.Time) []simtime
 
 // NextEventTime returns the timestamp of the earliest pending event, or
 // simtime.Forever if the queue is empty.
+//
+//hot:path
 func (s *Sim) NextEventTime() simtime.Time {
 	if head := s.c.queue.Peek(); head != nil {
 		return head.At
@@ -281,6 +303,8 @@ func (s *Sim) NextEventTime() simtime.Time {
 // SetNow advances the clock to t without executing events; it never moves
 // the clock backwards. The parallel coordinator uses it to keep every
 // core's clock in lockstep at window boundaries.
+//
+//hot:path
 func (s *Sim) SetNow(t simtime.Time) {
 	if t > s.c.now {
 		s.c.now = t
@@ -288,6 +312,8 @@ func (s *Sim) SetNow(t simtime.Time) {
 }
 
 // RunAll executes events until the queue drains completely.
+//
+//hot:path
 func (s *Sim) RunAll() uint64 {
 	c := s.c
 	c.halted = false

@@ -71,12 +71,16 @@ type Queue struct {
 }
 
 // Len returns the number of pending events.
+//
+//hot:path
 func (q *Queue) Len() int { return len(q.heap) }
 
 // Push schedules fn at time at as a local-class event whose equal-time
 // order is the insertion order (FIFO), and returns a handle that can be
 // passed to Cancel. The engine supplies richer keys via PushKeyed; direct
 // queue users get the classic deterministic FIFO tie-break.
+//
+//hot:path
 func (q *Queue) Push(at simtime.Time, fn func()) *Event {
 	k := Key{Class: ClassLocal, K1: q.ord}
 	q.ord++
@@ -85,7 +89,10 @@ func (q *Queue) Push(at simtime.Time, fn func()) *Event {
 
 // PushKeyed schedules fn at time at with the given equal-time key and
 // returns a handle that can be passed to Cancel.
+//
+//hot:path
 func (q *Queue) PushKeyed(at simtime.Time, key Key, fn func()) *Event {
+	//hot:allow one Event header per schedule is the queue's unit of work; pooling Events is the engine-overhaul open item
 	e := &Event{At: at, Fn: fn, key: key}
 	e.index = len(q.heap)
 	q.heap = append(q.heap, e)
@@ -94,6 +101,8 @@ func (q *Queue) PushKeyed(at simtime.Time, key Key, fn func()) *Event {
 }
 
 // Pop removes and returns the earliest event, or nil if the queue is empty.
+//
+//hot:path
 func (q *Queue) Pop() *Event {
 	if len(q.heap) == 0 {
 		return nil
@@ -111,6 +120,8 @@ func (q *Queue) Pop() *Event {
 }
 
 // Peek returns the earliest event without removing it, or nil if empty.
+//
+//hot:path
 func (q *Queue) Peek() *Event {
 	if len(q.heap) == 0 {
 		return nil
@@ -121,6 +132,8 @@ func (q *Queue) Peek() *Event {
 // Cancel removes a pending event from the queue. Cancelling a nil, fired,
 // or already-cancelled event is a no-op, so callers can cancel timers
 // unconditionally.
+//
+//hot:path
 func (q *Queue) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
@@ -138,6 +151,8 @@ func (q *Queue) Cancel(e *Event) {
 }
 
 // Less reports whether key a orders before key b at equal timestamps.
+//
+//hot:path
 func Less(a, b Key) bool {
 	if a.Class != b.Class {
 		return a.Class < b.Class
@@ -148,6 +163,7 @@ func Less(a, b Key) bool {
 	return a.K2 < b.K2
 }
 
+//hot:path
 func (q *Queue) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]
 	if a.At != b.At {
@@ -156,12 +172,14 @@ func (q *Queue) less(i, j int) bool {
 	return Less(a.key, b.key)
 }
 
+//hot:path
 func (q *Queue) swap(i, j int) {
 	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
 	q.heap[i].index = i
 	q.heap[j].index = j
 }
 
+//hot:path
 func (q *Queue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -173,6 +191,7 @@ func (q *Queue) up(i int) {
 	}
 }
 
+//hot:path
 func (q *Queue) down(i int) {
 	n := len(q.heap)
 	for {

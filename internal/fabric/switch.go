@@ -129,6 +129,14 @@ type Switch struct {
 	// passive, same contract as OnDrop.
 	OnMark func(p *packet.Packet, outPort int)
 
+	// pauseRefresh holds one pre-bound XOFF-refresh continuation per
+	// (ingress port, priority), created at construction: a congested
+	// switch re-asserts XOFF every half pause interval for as long as
+	// the queue stays above threshold (millions of frames in the
+	// paper's Fig. 15 regime), and binding the continuations once keeps
+	// that loop allocation-free.
+	pauseRefresh [][packet.NumPriorities]func()
+
 	Stats Stats
 }
 
@@ -158,6 +166,14 @@ func New(sim *engine.Sim, id packet.NodeID, name string, nPorts int, cfg Config)
 			port.EnableDRR(cfg.EgressDRRQuantum)
 		}
 		sw.ports = append(sw.ports, port)
+	}
+	sw.pauseRefresh = make([][packet.NumPriorities]func(), nPorts)
+	for i := 0; i < nPorts; i++ {
+		i := i
+		for prio := range sw.pauseRefresh[i] {
+			prio := uint8(prio)
+			sw.pauseRefresh[i][prio] = func() { sw.sendPause(i, prio) }
+		}
 	}
 	return sw
 }
@@ -253,6 +269,8 @@ func (s *Switch) SetMarking(p core.Params) {
 }
 
 // pfcThreshold returns the XOFF threshold in force right now.
+//
+//hot:path
 func (s *Switch) pfcThreshold() int64 {
 	if s.cfg.StaticPFCThreshold > 0 {
 		return s.cfg.StaticPFCThreshold
@@ -261,6 +279,8 @@ func (s *Switch) pfcThreshold() int64 {
 }
 
 // HandlePacket implements link.Receiver: the switch forwarding pipeline.
+//
+//hot:path
 func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 	// Admission: the shared buffer is finite, and without PFC each
 	// egress queue is additionally bounded by the dynamic threshold
@@ -305,6 +325,8 @@ func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 }
 
 // forward routes p out the port its ECMP hash selects.
+//
+//hot:path
 func (s *Switch) forward(p *packet.Packet) {
 	outs, ok := s.routes[p.Tuple.Dst]
 	if !ok || len(outs) == 0 {
@@ -338,6 +360,8 @@ func (s *Switch) forward(p *packet.Packet) {
 // the switch, and sends RESUME when the ingress queue drains enough.
 // Frames the switch originated itself (PFC, QCN feedback) were never
 // admitted into the shared buffer and carry no ingress accounting.
+//
+//hot:path
 func (s *Switch) onDeparture(p *packet.Packet) {
 	if p.IsControl() || p.InPort < 0 {
 		return
@@ -360,6 +384,8 @@ func (s *Switch) onDeparture(p *packet.Packet) {
 // threshold, then keeps refreshing it until the queue drains (PFC pause
 // times expire, so a congested switch re-asserts XOFF periodically —
 // this is why the paper's Fig. 15 counts millions of PAUSE frames).
+//
+//hot:path
 func (s *Switch) checkPause(inPort int, prio uint8) {
 	if s.pausing[inPort][prio] {
 		return
@@ -371,16 +397,16 @@ func (s *Switch) checkPause(inPort int, prio uint8) {
 	s.sendPause(inPort, prio)
 }
 
+//hot:path
 func (s *Switch) sendPause(inPort int, prio uint8) {
 	if !s.pausing[inPort][prio] {
 		return
 	}
 	s.Stats.PauseSent++
 	s.ports[inPort].SendPFC(prio, true)
-	// Refresh at half the pause duration while still pausing.
-	s.sim.After(link.DefaultPauseDuration/2, func() {
-		s.sendPause(inPort, prio)
-	})
+	// Refresh at half the pause duration while still pausing; the
+	// continuation is pre-bound per (port, priority) at construction.
+	s.sim.After(link.DefaultPauseDuration/2, s.pauseRefresh[inPort][prio])
 }
 
 // PortStats returns the accumulated counters of port i.
@@ -403,6 +429,8 @@ func (s *Switch) PauseSentTotal() int64 { return s.Stats.PauseSent }
 // with the given tuple — the ECMP decision exposed for experiments that
 // need to construct or detect hash collisions (e.g. the multi-bottleneck
 // parking lot of Fig. 20).
+//
+//hot:path
 func (s *Switch) RouteChoice(tuple packet.FiveTuple) (port int, ok bool) {
 	outs, found := s.routes[tuple.Dst]
 	if !found || len(outs) == 0 {

@@ -226,6 +226,10 @@ func newRecorder(net *topology.Network, cfg Config) *Recorder {
 }
 
 // intern returns the stable id of s, assigning one on first use.
+// Amortized: every steady-state record call hits the map, and the
+// append below runs once per distinct string for the whole run.
+//
+//hot:path
 func (r *Recorder) intern(s string) uint32 {
 	if id, ok := r.stringIDs[s]; ok {
 		return id
@@ -238,6 +242,8 @@ func (r *Recorder) intern(s string) uint32 {
 
 // record appends one event to the ring. portID and labelID must come
 // from intern (taps pre-intern their port names once at attach).
+//
+//hot:path
 func (r *Recorder) record(kind Kind, portID uint32, ptype packet.Type, flow packet.FlowID, psn int64, size int, prio uint8, arg int64, labelID uint32) {
 	now := r.net.Sim.Now()
 	if r.active == nil || len(r.active.buf) >= chunkTarget {
@@ -268,11 +274,14 @@ func (r *Recorder) record(kind Kind, portID uint32, ptype packet.Type, flow pack
 }
 
 // seal closes the active chunk and opens a fresh one based at now.
+//
+//hot:path
 func (r *Recorder) seal(now simtime.Time) {
 	if r.active != nil && r.active.count > 0 {
 		r.sealed += len(r.active.buf)
 		r.chunks = append(r.chunks, r.active)
 	}
+	//hot:allow one chunk header per 64KiB of encoded events, amortized over ~10k records
 	r.active = &chunk{base: now, firstSeq: r.seq, buf: make([]byte, 0, chunkTarget+64)}
 	r.lastAt = now
 }
@@ -280,6 +289,8 @@ func (r *Recorder) seal(now simtime.Time) {
 // evict drops oldest sealed chunks while the retained encoding exceeds
 // the budget. The active chunk is never evicted, so the budget is a
 // soft cap of MaxBytes + one chunk.
+//
+//hot:path
 func (r *Recorder) evict() {
 	budget := r.cfg.maxBytes()
 	for len(r.chunks) > 0 && r.sealed+len(r.active.buf) > budget {

@@ -1,0 +1,51 @@
+//go:build !race
+
+// Allocation-budget test for the hot-path contract (DESIGN §12): one
+// complete frame transmission — enqueue, serialize, propagate, deliver
+// — is pinned to the five allocations the escape.golden documents:
+// the transmit-done Event, the arrival Event, deliver's in-flight
+// arrive closure and its two captured words (d, to). The pre-bound
+// txDone/pauseExpire continuations keep everything else off the heap.
+// Race builds skip the budget (the detector perturbs counts).
+
+package link
+
+import (
+	"testing"
+
+	"dcqcn/internal/engine"
+	"dcqcn/internal/packet"
+	"dcqcn/internal/simtime"
+)
+
+type allocSink struct{ got int }
+
+func (s *allocSink) HandlePacket(p *packet.Packet, port *Port) { s.got++ }
+
+func TestAllocBudgetTransmit(t *testing.T) {
+	sim := engine.New(1)
+	msim := sim.Model()
+	rate := 40 * simtime.Gbps
+	a := NewPort(msim, "a", 0, rate, &allocSink{})
+	sink := &allocSink{}
+	b := NewPort(msim, "b", 1, rate, sink)
+	Connect(msim, a, b, simtime.Microsecond)
+
+	pkt := &packet.Packet{Type: packet.Data, Size: 1000}
+	// One warm transmit outside the measurement settles lazy state
+	// (FIFO ring buffers, queue heap growth).
+	a.Enqueue(pkt)
+	sim.RunAll()
+
+	avg := testing.AllocsPerRun(1000, func() {
+		a.Enqueue(pkt)
+		sim.RunAll()
+	})
+	const budget = 5 // tx-done Event, arrival Event, arrive closure, captured d, captured to
+	if avg > budget {
+		t.Errorf("transmit allocates %.2f objects/frame, budget is %d", avg, budget)
+	}
+	if sink.got == 0 {
+		t.Fatal("no frames delivered — the measurement exercised nothing")
+	}
+}

@@ -71,6 +71,17 @@ type Port struct {
 	queuedBytes [packet.NumPriorities]int64
 	pausedUntil [packet.NumPriorities]simtime.Time
 	busy        bool
+	// txPkt is the frame currently serializing (nil when idle). Holding
+	// it in the port instead of a per-transmission closure keeps kick()
+	// allocation-free: txDone is the one pre-bound completion
+	// continuation, created at construction, and busy guarantees at most
+	// one transmission is outstanding, so a single slot suffices.
+	txPkt  *packet.Packet
+	txDone func()
+	// pauseExpire holds one pre-bound re-arm continuation per priority,
+	// created at construction, so receiving an XOFF frame does not
+	// allocate a fresh closure per PFC event.
+	pauseExpire [packet.NumPriorities]func()
 
 	// DRR state (EnableDRR): deficit counters and round pointer for the
 	// data classes.
@@ -107,7 +118,18 @@ func NewPort(sim *engine.Sim, name string, index int, rate simtime.Rate, recv Re
 	if rate <= 0 {
 		panic("link: port rate must be positive")
 	}
-	return &Port{Name: name, Index: index, sim: sim, rate: rate, recv: recv}
+	p := &Port{Name: name, Index: index, sim: sim, rate: rate, recv: recv}
+	p.txDone = p.finishTx
+	for prio := range p.pauseExpire {
+		prio := uint8(prio)
+		p.pauseExpire[prio] = func() {
+			if !p.Paused(prio) {
+				p.accountPauseEnd(prio)
+				p.kick()
+			}
+		}
+	}
+	return p
 }
 
 // Rate returns the port's line rate.
@@ -127,6 +149,8 @@ func (p *Port) Connected() bool { return p.link != nil }
 
 // QueuedBytes returns the bytes waiting in the egress FIFO of one
 // priority (excluding any frame currently serializing).
+//
+//hot:path
 func (p *Port) QueuedBytes(prio uint8) int64 { return p.queuedBytes[prio] }
 
 // TotalQueuedBytes returns bytes waiting across all priorities.
@@ -140,12 +164,16 @@ func (p *Port) TotalQueuedBytes() int64 {
 
 // Paused reports whether transmission of prio is currently inhibited by
 // PFC.
+//
+//hot:path
 func (p *Port) Paused(prio uint8) bool {
 	return p.sim.Now() < p.pausedUntil[prio]
 }
 
 // Enqueue places pkt on the egress FIFO of its priority and starts the
 // transmitter if idle.
+//
+//hot:path
 func (p *Port) Enqueue(pkt *packet.Packet) {
 	if !p.Connected() {
 		panic(fmt.Sprintf("link: enqueue on unconnected port %s", p.Name))
@@ -178,6 +206,8 @@ func (p *Port) ChainOnEnqueue(fn func(*packet.Packet)) {
 
 // SendPFC transmits an XOFF (on=true) or XON PFC frame for prio. The
 // frame is queued at the highest priority class, ahead of all data.
+//
+//hot:path
 func (p *Port) SendPFC(prio uint8, on bool) {
 	pfc := packet.NewPFC(prio, on)
 	if on {
@@ -194,20 +224,19 @@ func (p *Port) SendPFC(prio uint8, on bool) {
 // round robin when EnableDRR was called. PFC pause inhibits a class
 // until expiry or XON; control frames are never paused in practice
 // because nothing sends PAUSE for their classes.
+//
+//hot:path
 func (p *Port) nextPacket() *packet.Packet {
 	now := p.sim.Now()
-	eligible := func(prio int) bool {
-		return !p.queues[prio].empty() && now >= p.pausedUntil[prio]
-	}
 	// Control classes: strict priority always.
 	for prio := packet.NumPriorities - 1; prio >= packet.PrioControl; prio-- {
-		if eligible(prio) {
+		if p.eligible(prio, now) {
 			return p.popFrom(uint8(prio))
 		}
 	}
 	if !p.drr {
 		for prio := packet.PrioControl - 1; prio >= 0; prio-- {
-			if eligible(prio) {
+			if p.eligible(prio, now) {
 				return p.popFrom(uint8(prio))
 			}
 		}
@@ -218,7 +247,7 @@ func (p *Port) nextPacket() *packet.Packet {
 	// the credit covers them; idle classes forfeit credit.
 	for scanned := 0; scanned <= packet.PrioControl; scanned++ {
 		prio := p.drrNext
-		if !eligible(prio) {
+		if !p.eligible(prio, now) {
 			p.deficits[prio] = 0 // idle classes do not hoard credit
 			p.drrServing = false
 			p.drrNext = (p.drrNext + 1) % packet.PrioControl
@@ -239,6 +268,17 @@ func (p *Port) nextPacket() *packet.Packet {
 	return nil
 }
 
+// eligible reports whether the FIFO of prio holds a packet the
+// scheduler may transmit at time now. (A method, not a closure inside
+// nextPacket, to keep the scheduler allocation-free under the hot-path
+// contract.)
+//
+//hot:path
+func (p *Port) eligible(prio int, now simtime.Time) bool {
+	return !p.queues[prio].empty() && now >= p.pausedUntil[prio]
+}
+
+//hot:path
 func (p *Port) popFrom(prio uint8) *packet.Packet {
 	pkt := p.queues[prio].pop()
 	p.queuedBytes[prio] -= int64(pkt.Size)
@@ -262,6 +302,8 @@ func (p *Port) EnableDRR(quantum int64) {
 
 // kick starts a transmission if the port is idle and a transmittable
 // packet exists.
+//
+//hot:path
 func (p *Port) kick() {
 	if p.busy {
 		return
@@ -271,17 +313,26 @@ func (p *Port) kick() {
 		return
 	}
 	p.busy = true
-	tx := p.rate.TxTime(pkt.Size)
-	p.sim.After(tx, func() {
-		p.busy = false
-		p.Stats.TxPackets++
-		p.Stats.TxBytes += int64(pkt.Size)
-		if p.OnDeparture != nil {
-			p.OnDeparture(pkt)
-		}
-		p.link.deliver(p, pkt)
-		p.kick()
-	})
+	p.txPkt = pkt
+	p.sim.After(p.rate.TxTime(pkt.Size), p.txDone)
+}
+
+// finishTx completes the transmission in progress: the last bit of
+// txPkt has left the port. It is the target of the pre-bound txDone
+// continuation, so serializing a frame costs no closure allocation.
+//
+//hot:path
+func (p *Port) finishTx() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.busy = false
+	p.Stats.TxPackets++
+	p.Stats.TxBytes += int64(pkt.Size)
+	if p.OnDeparture != nil {
+		p.OnDeparture(pkt)
+	}
+	p.link.deliver(p, pkt)
+	p.kick()
 }
 
 // Kick re-evaluates the scheduler; devices call it after a pause expires
@@ -289,6 +340,8 @@ func (p *Port) kick() {
 func (p *Port) Kick() { p.kick() }
 
 // receive processes a packet whose last bit has arrived at this port.
+//
+//hot:path
 func (p *Port) receive(pkt *packet.Packet) {
 	p.Stats.RxPackets++
 	p.Stats.RxBytes += int64(pkt.Size)
@@ -305,13 +358,9 @@ func (p *Port) receive(pkt *packet.Packet) {
 		}
 		p.pausedUntil[prio] = p.sim.Now().Add(DefaultPauseDuration)
 		// Re-arm the scheduler when the pause expires in case no other
-		// event wakes the port.
-		p.sim.After(DefaultPauseDuration, func() {
-			if !p.Paused(prio) {
-				p.accountPauseEnd(prio)
-				p.kick()
-			}
-		})
+		// event wakes the port. The continuation is pre-bound per
+		// priority at construction, so XOFF processing allocates nothing.
+		p.sim.After(DefaultPauseDuration, p.pauseExpire[prio])
 		if p.OnPFC != nil {
 			p.OnPFC(pkt)
 		}
@@ -331,6 +380,7 @@ func (p *Port) receive(pkt *packet.Packet) {
 	}
 }
 
+//hot:path
 func (p *Port) accountPauseEnd(prio uint8) {
 	if p.Stats.pauseActive[prio] {
 		p.Stats.pauseActive[prio] = false
@@ -529,6 +579,8 @@ func (l *Link) InFlightBytes() int64 {
 }
 
 // deliver schedules arrival of pkt at the far end of the link.
+//
+//hot:path
 func (l *Link) deliver(from *Port, pkt *packet.Packet) {
 	d, to := 0, l.b
 	if from == l.b {
@@ -563,6 +615,7 @@ func (l *Link) deliver(from *Port, pkt *packet.Packet) {
 	seq := l.dirSeq[d]
 	l.dirSeq[d]++
 	at := from.sim.Now().Add(l.delay)
+	//hot:allow per-frame in-flight state (epoch, bytes, destination) must outlive deliver; pooling arrival continuations is the engine-overhaul open item
 	arrive := func() {
 		l.arrivedBytes[d] += int64(pkt.Size)
 		// A flap while the frame was propagating kills it, even if the
@@ -620,9 +673,13 @@ type fifo struct {
 	n          int
 }
 
+//hot:path
 func (f *fifo) empty() bool { return f.n == 0 }
-func (f *fifo) len() int    { return f.n }
 
+//hot:path
+func (f *fifo) len() int { return f.n }
+
+//hot:path
 func (f *fifo) push(p *packet.Packet) {
 	if f.n == len(f.buf) {
 		f.grow()
@@ -632,6 +689,7 @@ func (f *fifo) push(p *packet.Packet) {
 	f.n++
 }
 
+//hot:path
 func (f *fifo) peek() *packet.Packet {
 	if f.n == 0 {
 		return nil
@@ -639,6 +697,7 @@ func (f *fifo) peek() *packet.Packet {
 	return f.buf[f.head]
 }
 
+//hot:path
 func (f *fifo) pop() *packet.Packet {
 	if f.n == 0 {
 		return nil
@@ -650,6 +709,10 @@ func (f *fifo) pop() *packet.Packet {
 	return p
 }
 
+// grow doubles the ring; amortized over the frames that pass through,
+// and the buffer is retained, so steady state never reallocates.
+//
+//hot:path
 func (f *fifo) grow() {
 	size := len(f.buf) * 2
 	if size == 0 {

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// Hotalloc is the core of the hot-path allocation contract: inside
+// //hot:path-annotated functions it flags the constructs that reach the
+// heap on every event — pointer-escaping composite literals, appends
+// that grow unpreallocated local slices, fmt formatting and string
+// concatenation, boxing of concrete values into interfaces, and
+// capturing closures (each capture forces a per-call context
+// allocation; capturing a loop variable is called out separately, since
+// it usually means one closure per iteration). Budgeted allocations are
+// waived per site with //hot:allow <reason>; panic arguments are exempt
+// because the panic path is terminal and cold. The analyzer also
+// guards the designation itself: a package in HotPackages with no
+// //hot:path annotations at all is reported, so the contract cannot rot
+// away one deleted comment at a time.
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid per-event heap allocation in //hot:path functions: escaping composite literals, " +
+		"unpreallocated appends, fmt/string-concat, interface boxing and capturing closures",
+	Run: runHotalloc,
+}
+
+func runHotalloc(pass *analysis.Pass) error {
+	annotated := 0
+	for _, f := range pass.Files {
+		for _, fd := range hotFuncs(f) {
+			annotated++
+			checkHotallocFunc(pass, f, fd)
+		}
+	}
+	if annotated == 0 && IsHotPackage(pass.Pkg.Path()) && len(pass.Files) > 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"designated hot package %s has no //hot:path annotations; the allocation contract requires its per-event functions to be marked",
+			pass.Pkg.Path())
+	}
+	return nil
+}
+
+// fmtAllocFuncs are the fmt functions that build a new string or byte
+// slice per call. (Fprintf writes to an io.Writer and is flagged by the
+// boxing rule instead, through its variadic any parameter.)
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+func checkHotallocFunc(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
+	cold := panicArgs(fd.Body)
+	bare := bareLocalSlices(pass, fd)
+	loops := loopVars(pass, fd)
+	name := fd.Name.Name
+
+	// Calls already flagged as fmt formatting: their variadic ...any
+	// arguments would otherwise double-report under the boxing rule.
+	flaggedCalls := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || inPanicArg(cold, n) {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					hotReport(pass, file, x,
+						"composite literal allocated via & in hot function %s: one heap object per call", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					if len(x.Elts) > 0 {
+						hotReport(pass, file, x,
+							"slice literal in hot function %s allocates its backing array per call", name)
+					}
+				case *types.Map:
+					hotReport(pass, file, x,
+						"map literal in hot function %s allocates per call", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotallocCall(pass, file, x, name, bare, flaggedCalls)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				tv, ok := pass.TypesInfo.Types[x]
+				if ok && tv.Value == nil && isString(tv.Type) {
+					hotReport(pass, file, x,
+						"string concatenation in hot function %s allocates a new string per call", name)
+				}
+			}
+		case *ast.FuncLit:
+			checkHotallocClosure(pass, file, fd, x, name, loops)
+			// Keep descending: nested literals and their bodies are hot too.
+		}
+		return true
+	})
+}
+
+// checkHotallocCall handles the call-shaped rules: appends growing bare
+// local slices, fmt formatting, interface conversions and boxing into
+// interface parameters.
+func checkHotallocCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, name string, bare map[types.Object]bool, flagged map[*ast.CallExpr]bool) {
+	// Builtins: append on a local slice declared without capacity is
+	// flagged; the rest (panic, make, len, copy, ...) never box — the
+	// call-site signatures go/types synthesizes for them would
+	// otherwise drag panic(fmt.Sprintf(...)) into the boxing rule.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				if root := rootIdent(call.Args[0]); root != nil {
+					if obj := pass.TypesInfo.Uses[root]; obj != nil && bare[obj] {
+						hotReport(pass, file, call,
+							"append grows local slice %s declared without capacity in hot function %s; preallocate with make or reuse a buffer",
+							root.Name, name)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// fmt.Sprintf and friends.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pn := pkgNameOf(pass.TypesInfo, sel.X); pn != nil && pn.Imported().Path() == "fmt" && fmtAllocFuncs[sel.Sel.Name] {
+			flagged[call] = true
+			hotReport(pass, file, call,
+				"fmt.%s in hot function %s formats through reflection and allocates per call", sel.Sel.Name, name)
+			return
+		}
+	}
+
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Conversion to an interface type: any(x), io.Reader(f), ...
+	if tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at, ok := pass.TypesInfo.Types[call.Args[0]]; ok && boxes(at.Type) {
+				hotReport(pass, file, call,
+					"conversion to interface type in hot function %s boxes its operand onto the heap", name)
+			}
+		}
+		return
+	}
+	// Concrete values passed to interface parameters.
+	if flagged[call] {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Value != nil { // untyped constants box into a static value
+			continue
+		}
+		if boxes(at.Type) {
+			hotReport(pass, file, arg,
+				"argument boxed into interface parameter in hot function %s: one heap allocation per call", name)
+		}
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: true for concrete non-pointer, non-reference types.
+// Pointers, maps, channels, funcs and interfaces fit in the interface
+// word (or are already indirect); nil interfaces carry nothing.
+func boxes(t types.Type) bool {
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		if b.Kind() == types.UntypedNil || b.Kind() == types.Invalid {
+			return false
+		}
+	}
+	return true
+}
+
+// checkHotallocClosure reports a func literal that captures enclosing
+// state — the capture context is one heap allocation per construction,
+// i.e. per event when the enclosing function is hot. Non-capturing
+// literals compile to static functions and pass.
+func checkHotallocClosure(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, lit *ast.FuncLit, name string, loops map[types.Object]bool) {
+	var captured types.Object
+	var capturedLoop types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if declaredWithin(obj, fd) && !declaredWithin(obj, lit) {
+			if captured == nil {
+				captured = obj
+			}
+			if loops[obj] && capturedLoop == nil {
+				capturedLoop = obj
+			}
+		}
+		return true
+	})
+	switch {
+	case capturedLoop != nil:
+		hotReport(pass, file, lit,
+			"closure in hot function %s captures loop variable %s: one closure allocation per iteration",
+			name, capturedLoop.Name())
+	case captured != nil:
+		hotReport(pass, file, lit,
+			"closure in hot function %s captures %s: one closure context allocation per call",
+			name, captured.Name())
+	}
+}
+
+// bareLocalSlices collects the objects of slices declared inside fd
+// with no preallocated capacity: `var s []T` and `s := []T{}` (and the
+// explicit nil spelling). Appending to these grows from zero with
+// repeated reallocation; appending to parameters, fields or
+// make()-initialized locals is the owner's preallocation contract and
+// is not flagged.
+func bareLocalSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	bare := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				bare[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, id := range vs.Names {
+					mark(id)
+				}
+			}
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if cl, ok := x.Rhs[i].(*ast.CompositeLit); ok && len(cl.Elts) == 0 {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return bare
+}
+
+// loopVars collects the objects declared by range clauses and for-init
+// statements within fd — the variables whose capture usually means one
+// closure per iteration.
+func loopVars(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	loops := make(map[types.Object]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loops[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if x.Tok == token.DEFINE {
+				if x.Key != nil {
+					mark(x.Key)
+				}
+				if x.Value != nil {
+					mark(x.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					mark(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+// isString reports whether t's underlying type is a string kind.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

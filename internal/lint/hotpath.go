@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// Hot-path allocation contract (DESIGN.md §12). The engine overhaul the
+// roadmap plans (timing wheel, packet/event pooling) is only worth
+// attempting if allocation discipline, once won, cannot silently rot.
+// The third analyzer family enforces that discipline statically:
+// functions annotated //hot:path are the per-event code — the event
+// queue, the run loop, the link transmit/deliver pipeline, the flight
+// recorder's record path — and inside them heap-allocating constructs
+// (hotalloc), defers (hotdefer) and per-event hook chaining (hotchain)
+// are contract violations. The runtime half of the contract is the
+// AllocsPerRun budget tests in the hot packages and the compiler-backed
+// escape auditor (internal/escape, `dcqcn-lint -escape`).
+
+// hotDirective marks a function as hot-path code. It goes in the
+// function's doc comment block, conventionally on its own line:
+//
+//	//hot:path
+//	// PushKeyed schedules fn at time at ...
+//	func (q *Queue) PushKeyed(...)
+const hotDirective = "//hot:path"
+
+// hotAllowDirective waives one hot-path diagnostic, with a mandatory
+// reason naming the budget that covers the allocation, e.g.
+//
+//	e := &Event{...} //hot:allow one Event per schedule, pinned by TestEventqAllocBudgets
+//
+// placed on the flagged line or the line above it. An allow with no
+// reason is itself reported as malformed.
+const hotAllowDirective = "//hot:allow"
+
+// HotPackages are the designated hot packages: the event queue, the
+// engine run loop, the link transmit pipeline and the flight-recorder
+// write path. Their per-event functions must carry //hot:path
+// annotations; hotalloc reports a designated package that has none, so
+// the contract cannot be silently deleted annotation by annotation.
+// The escape auditor (internal/escape) scans the same list.
+var HotPackages = []string{
+	"dcqcn/internal/engine",
+	"dcqcn/internal/eventq",
+	"dcqcn/internal/link",
+	"dcqcn/internal/flightrec",
+}
+
+// IsHotPackage reports whether pkgPath is a designated hot package.
+func IsHotPackage(pkgPath string) bool {
+	for _, p := range HotPackages {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isHotFunc reports whether the function declaration carries the
+// //hot:path directive in its doc comment block.
+func isHotFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// hotFuncs returns every //hot:path-annotated function declaration in
+// the file, body included.
+func hotFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && isHotFunc(fd) {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// hotAllowAnnotation looks for a //hot:allow directive covering the
+// node — on its line or the line above — and returns (reason, found).
+// A directive with an empty reason still counts as found; the caller
+// reports it as malformed.
+func hotAllowAnnotation(fset *token.FileSet, file *ast.File, n ast.Node) (string, bool) {
+	line := fset.Position(n.Pos()).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, hotAllowDirective) {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return strings.TrimSpace(strings.TrimPrefix(c.Text, hotAllowDirective)), true
+			}
+		}
+	}
+	return "", false
+}
+
+// hotReport emits a diagnostic at n unless a //hot:allow directive
+// covers it; a reasonless allow is reported as malformed instead of
+// honoured, exactly like //lint:ordered.
+func hotReport(pass *analysis.Pass, file *ast.File, n ast.Node, format string, args ...any) {
+	if reason, ok := hotAllowAnnotation(pass.Fset, file, n); ok {
+		if reason == "" {
+			pass.Reportf(n.Pos(), "%s directive without a reason; state which budget covers this allocation", hotAllowDirective)
+		}
+		return
+	}
+	pass.Reportf(n.Pos(), format, args...)
+}
+
+// panicArgs collects the subtrees that are arguments of builtin panic
+// calls within root. Allocation diagnostics are waived there: a panic
+// path is terminal and by definition cold, and the formatted message is
+// what makes the failure debuggable.
+func panicArgs(root ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			for _, a := range call.Args {
+				out = append(out, a)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// inPanicArg reports whether n lies inside one of the panic-argument
+// subtrees.
+func inPanicArg(args []ast.Node, n ast.Node) bool {
+	for _, a := range args {
+		if a.Pos() <= n.Pos() && n.End() <= a.End() {
+			return true
+		}
+	}
+	return false
+}

@@ -14,6 +14,13 @@
 // acctfield keeps //acct:-tagged conservation counters writable only by
 // their owning types. The runtime half of that contract lives in
 // internal/invariant, behind the `invariants` build tag.
+//
+// A third family (DESIGN.md, "Hot-path allocation contract") bounds
+// per-event cost: hotalloc forbids heap-allocating constructs inside
+// //hot:path-annotated functions, hotdefer forbids defer there, and
+// hotchain forbids per-event hook chaining. Its runtime half is the
+// AllocsPerRun budget tests in the hot packages and the compiler-backed
+// escape auditor in internal/escape (`dcqcn-lint -escape`).
 package lint
 
 import (
@@ -27,10 +34,15 @@ import (
 
 // All returns every contract analyzer, in stable order: the
 // determinism family (walltime, globalrand, maporder, floateq,
-// simtime) followed by the physics/concurrency family (noconc,
-// eventpast, acctfield — see DESIGN.md §9).
+// simtime), the physics/concurrency family (noconc, eventpast,
+// acctfield — see DESIGN.md §9), and the hot-path allocation family
+// (hotalloc, hotdefer, hotchain — see DESIGN.md §12).
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Walltime, Globalrand, Maporder, Floateq, Simtime, Noconc, Eventpast, Acctfield}
+	return []*analysis.Analyzer{
+		Walltime, Globalrand, Maporder, Floateq, Simtime,
+		Noconc, Eventpast, Acctfield,
+		Hotalloc, Hotdefer, Hotchain,
+	}
 }
 
 // ExemptFromModelRules reports whether a package is outside the

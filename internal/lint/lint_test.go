@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,11 @@ import (
 )
 
 func TestAllStableOrder(t *testing.T) {
-	want := []string{"walltime", "globalrand", "maporder", "floateq", "simtime", "noconc", "eventpast", "acctfield"}
+	want := []string{
+		"walltime", "globalrand", "maporder", "floateq", "simtime",
+		"noconc", "eventpast", "acctfield",
+		"hotalloc", "hotdefer", "hotchain",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
@@ -98,6 +103,154 @@ func TestRunSuppression(t *testing.T) {
 	}}, lint.All(), fixture)
 	if len(unrelated) != len(plain) {
 		t.Fatalf("unrelated suppressions changed findings: %d vs %d", len(unrelated), len(plain))
+	}
+}
+
+// TestRunWithStale pins the stale-suppression contract: a suppression
+// that silences real findings is earning its keep, one that silences
+// nothing in a run that judged it is stale, and suppressions for
+// packages (or analyzers) outside the run are never judged.
+func TestRunWithStale(t *testing.T) {
+	const fixture = "./testdata/src/floateq/a"
+	const fixturePath = "dcqcn/internal/lint/testdata/src/floateq/a"
+
+	pkgs, err := load.Packages(".", fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Earning its keep: the floateq suppression on its own fixture.
+	cfg := &lint.Config{Suppressions: []lint.Suppression{
+		{Analyzer: "floateq", Package: fixturePath, Reason: "test"},
+	}}
+	findings, stale, err := lint.RunWithStale(pkgs, lint.All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("suppression left %d findings", len(findings))
+	}
+	if len(stale) != 0 {
+		t.Fatalf("working suppression reported stale: %v", stale)
+	}
+
+	// Stale: maporder never fires in the floateq fixture, so its
+	// suppression silences nothing.
+	cfg = &lint.Config{Suppressions: []lint.Suppression{
+		{Analyzer: "maporder", Package: fixturePath, Reason: "test"},
+	}}
+	findings, stale, err = lint.RunWithStale(pkgs, lint.All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("floateq findings disappeared under an unrelated suppression")
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "maporder" {
+		t.Fatalf("want the maporder suppression reported stale, got %v", stale)
+	}
+
+	// Not judged: the package is not part of this run, so no verdict —
+	// subset invocations must not flag other packages' suppressions.
+	cfg = &lint.Config{Suppressions: []lint.Suppression{
+		{Analyzer: "floateq", Package: "dcqcn/internal/other", Reason: "test"},
+	}}
+	if _, stale, err = lint.RunWithStale(pkgs, lint.All(), cfg); err != nil {
+		t.Fatal(err)
+	} else if len(stale) != 0 {
+		t.Fatalf("unloaded package's suppression judged stale: %v", stale)
+	}
+
+	// Not judged either: the analyzer named by the suppression was not
+	// part of the run.
+	cfg = &lint.Config{Suppressions: []lint.Suppression{
+		{Analyzer: "floateq", Package: fixturePath, Reason: "test"},
+	}}
+	if _, stale, err = lint.RunWithStale(pkgs, []*analysis.Analyzer{lint.Maporder}, cfg); err != nil {
+		t.Fatal(err)
+	} else if len(stale) != 0 {
+		t.Fatalf("unrun analyzer's suppression judged stale: %v", stale)
+	}
+}
+
+// TestHotFamilySuppression checks suppression matching for the
+// hot-path analyzer family end to end over their own fixtures: each
+// fixture only yields findings from its analyzer, a matching
+// suppression silences all of them (and is therefore not stale), and
+// the JSON wire shape of a hot finding carries the analyzer name.
+func TestHotFamilySuppression(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		fixture  string
+	}{
+		{"hotalloc", "hotalloc/a"},
+		{"hotdefer", "hotdefer/a"},
+		{"hotchain", "hotchain/a"},
+	}
+	for _, c := range cases {
+		fixture := "./testdata/src/" + c.fixture
+		fixturePath := "dcqcn/internal/lint/testdata/src/" + c.fixture
+
+		plain := runOn(t, nil, lint.All(), fixture)
+		if len(plain) == 0 {
+			t.Fatalf("%s: fixture yields no findings", c.analyzer)
+		}
+		for _, f := range plain {
+			if f.Analyzer != c.analyzer {
+				t.Errorf("%s fixture produced %q finding: %s", c.analyzer, f.Analyzer, f)
+			}
+			if f.Package != fixturePath {
+				t.Errorf("finding attributed to %q, want %q", f.Package, fixturePath)
+			}
+		}
+
+		pkgs, err := load.Packages(".", fixture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := &lint.Config{Suppressions: []lint.Suppression{
+			{Analyzer: c.analyzer, Package: fixturePath, Reason: "test"},
+		}}
+		findings, stale, err := lint.RunWithStale(pkgs, lint.All(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) != 0 {
+			t.Errorf("%s: suppression left %d findings: %v", c.analyzer, len(findings), findings)
+		}
+		if len(stale) != 0 {
+			t.Errorf("%s: working suppression reported stale: %v", c.analyzer, stale)
+		}
+	}
+}
+
+// TestFindingJSONShape pins the -json wire format the CI artifact
+// consumes: analyzer, package, pos, message — nothing else, nothing
+// renamed.
+func TestFindingJSONShape(t *testing.T) {
+	findings := runOn(t, nil, []*analysis.Analyzer{lint.Hotalloc}, "./testdata/src/hotalloc/a")
+	if len(findings) == 0 {
+		t.Fatal("no hotalloc findings to marshal")
+	}
+	data, err := json.Marshal(findings[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"analyzer", "package", "pos", "message"}
+	if len(m) != len(want) {
+		t.Fatalf("finding JSON has %d keys, want %d: %s", len(m), len(want), data)
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("finding JSON missing key %q: %s", k, data)
+		}
+	}
+	if m["analyzer"] != "hotalloc" {
+		t.Errorf("analyzer = %v, want hotalloc", m["analyzer"])
 	}
 }
 

@@ -87,11 +87,28 @@ func (c *Config) suppressed(analyzer, pkgPath string) bool {
 // drops findings the config suppresses, and returns the remainder
 // sorted by position. Analyzer errors (not findings) abort the run.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, cfg *Config) ([]Finding, error) {
+	findings, _, err := RunWithStale(pkgs, analyzers, cfg)
+	return findings, err
+}
+
+// RunWithStale is Run plus stale-suppression detection: suppressed
+// analyzers still execute, their findings are dropped and counted, and
+// every suppression whose (analyzer, package) pair was actually judged
+// in this invocation — the analyzer ran and the package was loaded —
+// yet silenced zero findings is returned as stale. Suppressions for
+// packages or analyzers outside this run are never judged, so a
+// subset invocation (dcqcn-lint ./internal/engine) cannot false-flag
+// an unrelated package's suppression.
+func RunWithStale(pkgs []*load.Package, analyzers []*analysis.Analyzer, cfg *Config) ([]Finding, []Suppression, error) {
 	var findings []Finding
+	hits := make(map[string]int) // analyzer\x00pkg -> suppressed findings
+	judged := make(map[string]bool)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if cfg.suppressed(a.Name, pkg.PkgPath) {
-				continue
+			silence := cfg.suppressed(a.Name, pkg.PkgPath)
+			key := a.Name + "\x00" + pkg.PkgPath
+			if silence {
+				judged[key] = true
 			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -102,6 +119,10 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, cfg *Config) ([]F
 			}
 			name, pkgPath := a.Name, pkg.PkgPath
 			pass.Report = func(d analysis.Diagnostic) {
+				if silence {
+					hits[key]++
+					return
+				}
 				pos := pkg.Fset.Position(d.Pos)
 				findings = append(findings, Finding{
 					Analyzer: name,
@@ -112,7 +133,16 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, cfg *Config) ([]F
 				})
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	var stale []Suppression
+	if cfg != nil {
+		for _, s := range cfg.Suppressions {
+			key := s.Analyzer + "\x00" + s.Package
+			if judged[key] && hits[key] == 0 {
+				stale = append(stale, s)
 			}
 		}
 	}
@@ -129,5 +159,5 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, cfg *Config) ([]F
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, stale, nil
 }

@@ -1,0 +1,117 @@
+// Package a exercises the hotalloc analyzer: heap-allocating
+// constructs are flagged only inside //hot:path-annotated functions,
+// //hot:allow waives one site with a recorded reason, and panic
+// arguments are exempt (the panic path is cold by definition).
+package a
+
+import "fmt"
+
+type event struct {
+	at int
+	fn func()
+}
+
+type queue struct {
+	heap []*event
+	name string
+}
+
+type sink interface{ consume() }
+
+type box struct{ v int }
+
+func (box) consume() {}
+
+func observe(args ...any) {
+	_ = args
+}
+
+func takesIface(s sink) { s.consume() }
+
+// push is the annotated hot function the composite-literal rule fires in.
+//
+//hot:path
+func (q *queue) push(at int, fn func()) *event {
+	e := &event{at: at, fn: fn} // want `composite literal allocated via & in hot function push`
+	q.heap = append(q.heap, e)  // append to a struct field: the owner's amortized growth, not flagged
+	return e
+}
+
+//hot:path
+func (q *queue) collect(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append grows local slice out declared without capacity in hot function collect`
+	}
+	seeded := make([]int, 0, n)
+	seeded = append(seeded, out...) // preallocated: passes
+	empty := []int{}
+	empty = append(empty, seeded...) // want `append grows local slice empty declared without capacity in hot function collect`
+	return empty
+}
+
+//hot:path
+func (q *queue) format(n int) string {
+	label := fmt.Sprintf("ev-%d", n) // want `fmt.Sprintf in hot function format formats through reflection and allocates per call`
+	label = label + q.name           // want `string concatenation in hot function format allocates a new string per call`
+	const prefix = "q-" + "static"   // constant folded: passes
+	return prefix + label            // want `string concatenation in hot function format allocates a new string per call`
+}
+
+//hot:path
+func (q *queue) boxing(n int, b box) {
+	observe(n)    // want `argument boxed into interface parameter in hot function boxing`
+	observe(42)   // untyped constant: passes
+	_ = any(n)    // want `conversion to interface type in hot function boxing boxes its operand onto the heap`
+	_ = any(&b)   // pointer fits the interface word: passes
+	takesIface(b) // want `argument boxed into interface parameter in hot function boxing`
+}
+
+//hot:path
+func (q *queue) literals(n int) {
+	weights := []int{n, n + 1} // want `slice literal in hot function literals allocates its backing array per call`
+	_ = weights
+	index := map[string]int{} // want `map literal in hot function literals allocates per call`
+	_ = index
+}
+
+//hot:path
+func (q *queue) closures(vals []int) []func() int {
+	var fns []func() int
+	base := len(vals)
+	f := func() int { return base } // want `closure in hot function closures captures base: one closure context allocation per call`
+	_ = f
+	for _, v := range vals {
+		g := func() int { return v } // want `closure in hot function closures captures loop variable v: one closure allocation per iteration`
+		fns = append(fns, g)         // want `append grows local slice fns declared without capacity in hot function closures`
+	}
+	static := func() int { return 0 } // captures nothing: passes
+	_ = static
+	return fns
+}
+
+//hot:path
+func (q *queue) allowed(at int) *event {
+	e := &event{at: at} //hot:allow one event per schedule, pinned by the queue alloc budget
+	//hot:allow
+	bad := &event{} // want `//hot:allow directive without a reason; state which budget covers this allocation`
+	_ = bad
+	return e
+}
+
+//hot:path
+func (q *queue) panics(at int) {
+	if at < 0 {
+		panic(fmt.Sprintf("negative time %d", at)) // panic argument: cold path, passes
+	}
+}
+
+// cold has no annotation: the same constructs pass unreported.
+func (q *queue) cold(n int) string {
+	e := &event{at: n}
+	_ = e
+	var out []int
+	out = append(out, n)
+	observe(n)
+	return fmt.Sprintf("ev-%d", n) + q.name
+}

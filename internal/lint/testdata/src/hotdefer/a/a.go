@@ -1,0 +1,42 @@
+// Package a exercises the hotdefer analyzer: defer is flagged inside
+// //hot:path functions (including nested func literals constructed
+// there), passes in unannotated code, and //hot:allow waives a site
+// with a recorded reason.
+package a
+
+type loop struct {
+	depth int
+	done  func()
+}
+
+//hot:path
+func (l *loop) step() {
+	l.depth++
+	defer l.done() // want `defer in hot function step: a defer record per call on the event path`
+	l.depth--
+}
+
+//hot:path
+func (l *loop) nested() {
+	// The literal captures nothing (hotalloc-clean: it compiles to a
+	// static function); the defer inside it is still on the hot path.
+	fn := func() {
+		defer noop() // want `defer in hot function nested: a defer record per call on the event path`
+	}
+	fn()
+}
+
+func noop() {}
+
+//hot:path
+func (l *loop) waived() {
+	//hot:allow teardown runs once per run at drain, not per event
+	defer l.done()
+	l.depth = 0
+}
+
+// cold is unannotated: defer passes.
+func (l *loop) cold() {
+	defer l.done()
+	l.depth = 0
+}

@@ -120,7 +120,16 @@ func Shard(n *topology.Network, k int) {
 	c := &coord{ctrl: n.Sim, mergeIdx: make([]int, p.Shards)}
 	for s := 0; s < p.Shards; s++ {
 		core := engine.New(n.Sim.Seed())
-		sh := &shard{sim: core}
+		// Preallocate the per-window buffers: executed is reused across
+		// windows via RunWindow(horizon, executed[:0]) and outbox via the
+		// barrier drain, so seeding real capacity here keeps the first
+		// windows from growing them with repeated reallocation on the
+		// event path.
+		sh := &shard{
+			sim:      core,
+			executed: make([]simtime.Time, 0, 4096),
+			outbox:   make([]msg, 0, 256),
+		}
 		c.shards = append(c.shards, sh)
 		msim := core.Model()
 		for _, sw := range n.ShardSwitches(p, s) {
