@@ -11,9 +11,9 @@ GO ?= go
 # same code (testdata fixtures are excluded by pattern expansion).
 PKGS ?= ./...
 
-.PHONY: check fmt vet lint build test race faults invariants flightrec parallel escape escape-update alloc-budgets bench bench-json sweep-smoke sweep chaos clean
+.PHONY: check fmt vet lint build test race faults invariants flightrec parallel cc escape escape-update alloc-budgets bench bench-json sweep-smoke sweep chaos clean
 
-check: fmt vet lint build faults race invariants flightrec parallel
+check: fmt vet lint build faults race invariants flightrec parallel cc
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -49,7 +49,8 @@ escape-update:
 # this target names a budget regression explicitly.
 alloc-budgets:
 	$(GO) test -run 'TestAllocBudget' -count=1 ./internal/eventq/ \
-		./internal/link/ ./internal/fabric/ ./internal/flightrec/
+		./internal/link/ ./internal/fabric/ ./internal/flightrec/ \
+		./internal/cc/
 
 build:
 	$(GO) build ./...
@@ -91,6 +92,17 @@ flightrec:
 	$(GO) run ./cmd/dcqcn-replay -scenario chaos-pause-storm -point 1 \
 		-diff-seed 1 -expect diverged > /dev/null
 
+# Congestion-control framework gate (internal/cc): the registry, fuzz,
+# controller and allocation-budget tests plus the NIC dispatch tests,
+# then a two-algorithm head-to-head smoke sweep through the -cc CLI
+# path with the determinism gate on (digest-identical reruns per
+# algorithm; cc_compare.json lands in cc-out/). The golden digests —
+# which pin DCQCN routed through the framework — run in `race`/`test`.
+cc:
+	$(GO) test -count=1 ./internal/cc/ ./internal/nic/ ./cmd/dcqcn-sweep/
+	$(GO) run ./cmd/dcqcn-sweep -cc dcqcn,timely -scenario incast -seeds 1 \
+		-check-determinism -quiet -out cc-out
+
 # Sharded runtime gate (internal/parallel): the package's own tests —
 # partition soundness, merge-order interleaving invariance, fallback
 # paths — under the race detector, then the sharded golden-digest
@@ -115,6 +127,7 @@ bench-json:
 	BENCH_JSON=BENCH_5.json $(GO) test -run TestBenchArtifact -v .
 	BENCH_JSON=BENCH_6.json $(GO) test -run TestShardedBenchArtifact -v .
 	BENCH_JSON=$(CURDIR)/BENCH_7.json $(GO) test -run TestAllocBudgetArtifact -v ./internal/flightrec/
+	BENCH_JSON=$(CURDIR)/BENCH_8.json $(GO) test -run TestCCBenchArtifact -v ./internal/cc/
 
 # Quick end-to-end exercise of the harness: one scenario, 4 workers,
 # determinism gate on. Artifacts land in sweep-out/.
@@ -134,4 +147,4 @@ chaos:
 		-check-determinism -quiet -out chaos-out
 
 clean:
-	rm -rf sweep-out chaos-out
+	rm -rf sweep-out chaos-out cc-out

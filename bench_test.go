@@ -331,7 +331,7 @@ func BenchmarkAblationG(b *testing.B) {
 func BenchmarkAblationSlowStart(b *testing.B) {
 	var rs []experiments.AblationResult
 	for i := 0; i < b.N; i++ {
-		rs = experiments.AblationFastStart()
+		rs = experiments.AblationFastStart(experiments.Quick())
 	}
 	b.ReportMetric(rs[0].Metrics["FCT (us)"], "dcqcn-FCT-us")
 	b.ReportMetric(rs[1].Metrics["FCT (us)"], "dctcp-FCT-us")

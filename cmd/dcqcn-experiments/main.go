@@ -10,10 +10,13 @@
 // Usage:
 //
 //	dcqcn-experiments [-full] [-only fig16] [-list] [-parallel N]
+//	                  [-cc name]
 //
 // -full uses the high-fidelity settings recorded in EXPERIMENTS.md
 // (minutes of CPU time); the default quick settings finish in well under
-// a minute and preserve every qualitative conclusion.
+// a minute and preserve every qualitative conclusion. -cc swaps the
+// congestion-control algorithm (internal/cc registry name) for the
+// DCQCN modes of every experiment.
 package main
 
 import (
@@ -25,9 +28,11 @@ import (
 	"time"
 
 	"dcqcn/internal/buffercalc"
+	"dcqcn/internal/cc"
 	"dcqcn/internal/experiments"
 	"dcqcn/internal/harness"
 	"dcqcn/internal/invariant"
+	"dcqcn/internal/simtime"
 )
 
 type experiment struct {
@@ -164,12 +169,18 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by name")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Int("parallel", 0, "worker pool for scenario sweeps (0 = GOMAXPROCS)")
+	ccName := flag.String("cc", "dcqcn", "congestion-control algorithm for the DCQCN modes (internal/cc registry name)")
 	flag.Parse()
 
 	fid := experiments.Quick()
 	if *full {
 		fid = experiments.Full()
 	}
+	if _, err := cc.Select(*ccName, 40*simtime.Gbps); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fid.CC = *ccName
 	reg := harness.NewRegistry()
 	experiments.RegisterScenarios(reg, fid)
 	experiments.RegisterChaosScenarios(reg, fid)

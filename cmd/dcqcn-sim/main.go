@@ -7,7 +7,12 @@
 //	dcqcn-sim [-senders 8] [-chunk 2000000] [-duration 50ms] [-seed 1]
 //	          [-mode dcqcn|pfc|nopfc] [-kmin 5000] [-kmax 200000]
 //	          [-pmax 0.01] [-g 0.00390625] [-timer 55us] [-bc 10000000]
-//	          [-shards N]
+//	          [-shards N] [-cc name]
+//
+// -cc swaps the congestion-control algorithm (internal/cc registry name:
+// dcqcn, timely, dctcp, switch-assist, policy, ...). With a non-default
+// algorithm the DCQCN tuning flags (-kmin, -g, ...) are ignored — the
+// algorithm runs its registered defaults.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 	timer := flag.Duration("timer", 55*time.Microsecond, "rate increase timer")
 	bc := flag.Int64("bc", 10_000_000, "byte counter (bytes)")
 	shards := flag.Int("shards", 0, "shard the simulation across N cores (star rigs cannot split and stay sequential)")
+	ccName := flag.String("cc", "dcqcn", "congestion-control algorithm (internal/cc registry name)")
 	flag.Parse()
 
 	params := dcqcn.DefaultParams()
@@ -55,6 +61,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+	if *ccName != "dcqcn" {
+		if *mode != "dcqcn" {
+			fmt.Fprintln(os.Stderr, "-cc requires -mode dcqcn")
+			os.Exit(2)
+		}
+		var err error
+		if opts, err = opts.WithCC(*ccName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	sim := dcqcn.NewStarNetwork(*seed, *senders+1, opts)

@@ -13,12 +13,19 @@
 //	dcqcn-sweep [-scenario name,glob*] [-parallel N] [-reruns N]
 //	            [-seeds N] [-out dir] [-full] [-check-determinism]
 //	            [-bench] [-list] [-quiet] [-record] [-shards N]
+//	            [-cc name[,name...]] [-cc-params json] [-list-cc]
 //
 // -check-determinism reruns every (point, seed) at least twice and fails
 // loudly unless engine digests and metrics are bit-identical — the gate
 // that catches map-iteration or shared-RNG nondeterminism. -bench times
 // the selected grid at -parallel 1 first and records the parallel
 // speedup in provenance.json.
+//
+// -cc selects the congestion-control algorithm(s) from the internal/cc
+// registry. With several names the whole scenario matrix runs once per
+// algorithm: per-algorithm artifacts land in <out>/cc-<name>/ and a
+// head-to-head comparison (cc_compare.json plus a printed table) lands
+// in <out>/.
 package main
 
 import (
@@ -28,10 +35,12 @@ import (
 	"path/filepath"
 	"time"
 
+	"dcqcn/internal/cc"
 	"dcqcn/internal/experiments"
 	"dcqcn/internal/flightrec"
 	"dcqcn/internal/harness"
 	"dcqcn/internal/invariant"
+	"dcqcn/internal/simtime"
 )
 
 func main() {
@@ -48,8 +57,40 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress")
 		record   = flag.Bool("record", false, "arm the flight recorder on every run (passivity proof; recorded in provenance)")
 		shards   = flag.Int("shards", 0, "shard each simulation across N cores (internal/parallel; digests unchanged)")
+		ccSpec   = flag.String("cc", "dcqcn", "comma-separated congestion-control algorithms (see -list-cc)")
+		ccParams = flag.String("cc-params", "", "JSON object overlaid onto the selected algorithm's default params (single -cc only)")
+		listCC   = flag.Bool("list-cc", false, "list registered cc algorithms with default params as JSON and exit")
 	)
 	flag.Parse()
+
+	if *listCC {
+		for _, name := range cc.Names() {
+			sel, err := cc.Select(name, 40*simtime.Gbps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-14s signals=%-28s %s\n  defaults: %s\n",
+				sel.Name, sel.Caps(), sel.Algorithm.Description, sel.ParamsJSON())
+		}
+		return
+	}
+
+	sels, err := cc.ParseSelections(*ccSpec, 40*simtime.Gbps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *ccParams != "" {
+		if len(sels) != 1 {
+			fmt.Fprintln(os.Stderr, "dcqcn-sweep: -cc-params requires exactly one -cc algorithm")
+			os.Exit(2)
+		}
+		if err := sels[0].ApplyParamsJSON([]byte(*ccParams)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	if *record {
 		// Armed before NewProvenance so flightrec_armed lands in the
@@ -59,18 +100,18 @@ func main() {
 		flightrec.Arm(flightrec.Config{}, nil)
 	}
 
-	fid := experiments.Quick()
+	baseFid := experiments.Quick()
 	fidName := "quick"
 	if *full {
-		fid = experiments.Full()
+		baseFid = experiments.Full()
 		fidName = "full"
 	}
-	fid.Shards = *shards
-	reg := harness.NewRegistry()
-	experiments.RegisterScenarios(reg, fid)
-	experiments.RegisterChaosScenarios(reg, fid)
+	baseFid.Shards = *shards
 
 	if *list {
+		reg := harness.NewRegistry()
+		experiments.RegisterScenarios(reg, baseFid)
+		experiments.RegisterChaosScenarios(reg, baseFid)
 		for _, sc := range reg.All() {
 			fmt.Printf("%-18s %3d points x %d seeds  %s\n",
 				sc.Name, len(sc.Points), len(sc.Seeds), sc.Description)
@@ -78,112 +119,161 @@ func main() {
 		return
 	}
 
-	scs, err := reg.Select(*scenario)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if *seedCap > 0 {
-		for i := range scs {
-			if len(scs[i].Seeds) > *seedCap {
-				scs[i].Seeds = scs[i].Seeds[:*seedCap]
-			}
+	// The whole scenario matrix runs once per selected algorithm; with a
+	// single -cc name this collapses to the classic single-sweep layout.
+	multi := len(sels) > 1
+	cmp := harness.CCComparison{SchemaVersion: 1}
+	for i, sel := range sels {
+		fid := baseFid
+		fid.CC = sel.Name
+		if *ccParams != "" {
+			fid.CCParams = sel.ParamsJSON()
 		}
-	}
-
-	prov := harness.NewProvenance("dcqcn-sweep")
-	prov.Parallel = *parallel
-	prov.Reruns = *reruns
-	prov.Shards = *shards
-	prov.Determinism = *checkDet
-	prov.Fidelity = fidName
-	prov.Describe(scs)
-
-	if *bench {
-		fmt.Fprintf(os.Stderr, "timing sequential baseline (-parallel 1)...\n")
-		seqCfg := harness.Config{Parallel: 1, Reruns: *reruns}
-		if *checkDet && seqCfg.Reruns < 2 {
-			seqCfg.Reruns = 2 // match the gate's forced rerun count
-		}
-		seq, err := harness.Sweep(scs, seqCfg)
+		reg := harness.NewRegistry()
+		experiments.RegisterScenarios(reg, fid)
+		experiments.RegisterChaosScenarios(reg, fid)
+		scs, err := reg.Select(*scenario)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(2)
 		}
-		prov.SequentialWallMS = float64(seq.Wall) / float64(time.Millisecond)
-		fmt.Fprintf(os.Stderr, "sequential: %.1fs\n", seq.Wall.Seconds())
-	}
-
-	cfg := harness.Config{
-		Parallel:         *parallel,
-		Reruns:           *reruns,
-		CheckDeterminism: *checkDet,
-	}
-	if !*quiet {
-		cfg.Progress = func(done, total int, rec harness.RunRecord) {
-			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s/%s seed=%d (%.0f ms)        ",
-				done, total, rec.Scenario, rec.Point, rec.Seed, rec.WallMS)
-		}
-	}
-	var rawFile *os.File
-	if *out != "" {
-		rawFile, err = harness.OpenRawWriter(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		cfg.RawWriter = rawFile
-	}
-
-	res, sweepErr := harness.Sweep(scs, cfg)
-	if rawFile != nil {
-		if err := rawFile.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-	if !*quiet {
-		fmt.Fprintln(os.Stderr)
-	}
-	if sweepErr != nil {
-		fmt.Fprintln(os.Stderr, sweepErr)
-		if res != nil {
-			for _, v := range res.DeterminismViolations {
-				fmt.Fprintf(os.Stderr, "  violation: %s\n", v)
+		if *seedCap > 0 {
+			for i := range scs {
+				if len(scs[i].Seeds) > *seedCap {
+					scs[i].Seeds = scs[i].Seeds[:*seedCap]
+				}
 			}
 		}
-		os.Exit(1)
-	}
+		dir := *out
+		if multi && dir != "" {
+			dir = filepath.Join(dir, "cc-"+sel.Name)
+		}
+		if multi {
+			fmt.Fprintf(os.Stderr, "== cc=%s (%d/%d)\n", sel.Name, i+1, len(sels))
+		}
 
-	prov.Record(res)
-	if prov.SequentialWallMS > 0 && prov.WallMS > 0 {
-		prov.Speedup = prov.SequentialWallMS / prov.WallMS
-	}
+		prov := harness.NewProvenance("dcqcn-sweep")
+		prov.Parallel = *parallel
+		prov.Reruns = *reruns
+		prov.Shards = *shards
+		prov.Determinism = *checkDet
+		prov.Fidelity = fidName
+		prov.CC = sel.Name
+		prov.CCParams = sel.ParamsJSON()
+		prov.Describe(scs)
 
-	for _, sc := range scs {
-		fmt.Printf("=== %s — %s\n%s\n", sc.Name, sc.Description, res.Table(sc.Name))
-	}
-	fmt.Printf("%d runs, %d simulated events, wall %.1fs\n",
-		len(res.Records), res.TotalEvents, res.Wall.Seconds())
-	if *checkDet {
-		fmt.Println("determinism gate: PASS (identical digests across reruns)")
-	}
-	if invariant.Enabled {
-		fmt.Println("invariants auditor: armed (built with -tags invariants); no violations")
-	}
-	if flightrec.Armed() {
-		fmt.Println("flight recorder: armed on every run (-record); digests unchanged by recording")
-	}
-	if prov.Speedup > 0 {
-		fmt.Printf("speedup vs sequential: %.2fx (%.1fs -> %.1fs)\n",
-			prov.Speedup, prov.SequentialWallMS/1000, prov.WallMS/1000)
-	}
+		if *bench {
+			fmt.Fprintf(os.Stderr, "timing sequential baseline (-parallel 1)...\n")
+			seqCfg := harness.Config{Parallel: 1, Reruns: *reruns}
+			if *checkDet && seqCfg.Reruns < 2 {
+				seqCfg.Reruns = 2 // match the gate's forced rerun count
+			}
+			seq, err := harness.Sweep(scs, seqCfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			prov.SequentialWallMS = float64(seq.Wall) / float64(time.Millisecond)
+			fmt.Fprintf(os.Stderr, "sequential: %.1fs\n", seq.Wall.Seconds())
+		}
 
-	if *out != "" {
-		if err := harness.WriteArtifacts(*out, res, prov); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		cfg := harness.Config{
+			Parallel:         *parallel,
+			Reruns:           *reruns,
+			CheckDeterminism: *checkDet,
+		}
+		if !*quiet {
+			cfg.Progress = func(done, total int, rec harness.RunRecord) {
+				fmt.Fprintf(os.Stderr, "\r[%d/%d] %s/%s seed=%d (%.0f ms)        ",
+					done, total, rec.Scenario, rec.Point, rec.Seed, rec.WallMS)
+			}
+		}
+		var rawFile *os.File
+		if dir != "" {
+			rawFile, err = harness.OpenRawWriter(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			cfg.RawWriter = rawFile
+		}
+
+		res, sweepErr := harness.Sweep(scs, cfg)
+		if rawFile != nil {
+			if err := rawFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if sweepErr != nil {
+			fmt.Fprintln(os.Stderr, sweepErr)
+			if res != nil {
+				for _, v := range res.DeterminismViolations {
+					fmt.Fprintf(os.Stderr, "  violation: %s\n", v)
+				}
+			}
 			os.Exit(1)
 		}
-		fmt.Printf("artifacts: %s\n", filepath.Join(*out, "{"+harness.RawRunsFile+","+harness.SummaryFile+","+harness.ProvenanceFile+"}"))
+
+		prov.Record(res)
+		if prov.SequentialWallMS > 0 && prov.WallMS > 0 {
+			prov.Speedup = prov.SequentialWallMS / prov.WallMS
+		}
+
+		if !multi {
+			for _, sc := range scs {
+				fmt.Printf("=== %s — %s\n%s\n", sc.Name, sc.Description, res.Table(sc.Name))
+			}
+		}
+		fmt.Printf("cc=%s: %d runs, %d simulated events, wall %.1fs\n",
+			sel.Name, len(res.Records), res.TotalEvents, res.Wall.Seconds())
+		if *checkDet {
+			fmt.Println("determinism gate: PASS (identical digests across reruns)")
+		}
+		if invariant.Enabled {
+			fmt.Println("invariants auditor: armed (built with -tags invariants); no violations")
+		}
+		if flightrec.Armed() {
+			fmt.Println("flight recorder: armed on every run (-record); digests unchanged by recording")
+		}
+		if prov.Speedup > 0 {
+			fmt.Printf("speedup vs sequential: %.2fx (%.1fs -> %.1fs)\n",
+				prov.Speedup, prov.SequentialWallMS/1000, prov.WallMS/1000)
+		}
+
+		if dir != "" {
+			if err := harness.WriteArtifacts(dir, res, prov); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("artifacts: %s\n", filepath.Join(dir, "{"+harness.RawRunsFile+","+harness.SummaryFile+","+harness.ProvenanceFile+"}"))
+		}
+
+		if i == 0 {
+			cmp.Scenarios = prov.Scenarios
+		}
+		cmp.Algorithms = append(cmp.Algorithms, harness.CCAlgoResult{
+			CC:           sel.Name,
+			Capabilities: sel.Caps().String(),
+			Params:       sel.ParamsJSON(),
+			TotalRuns:    len(res.Records),
+			TotalEvents:  res.TotalEvents,
+			WallMS:       float64(res.Wall) / float64(time.Millisecond),
+			Summaries:    res.Summaries,
+		})
+	}
+
+	if multi {
+		fmt.Printf("\n=== head-to-head (%d algorithms, mean over seeds)\n%s", len(cmp.Algorithms), cmp.Table())
+		if *out != "" {
+			if err := harness.WriteCCComparison(*out, cmp); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("comparison: %s\n", filepath.Join(*out, harness.CCCompareFile))
+		}
 	}
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUnknownCCFailsCleanly pins the -cc error contract across every
+// CLI that accepts the flag: an unknown algorithm name must exit with
+// status 2 (usage error, not a crash) and name the registered
+// algorithms so the fix is in the message.
+func TestUnknownCCFailsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns each CLI")
+	}
+	for _, cli := range []string{"dcqcn-sweep", "dcqcn-sim", "dcqcn-experiments"} {
+		cli := cli
+		t.Run(cli, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), cli)
+			if out, err := exec.Command("go", "build", "-o", bin, "dcqcn/cmd/"+cli).CombinedOutput(); err != nil {
+				t.Fatalf("build %s: %v\n%s", cli, err, out)
+			}
+			out, err := exec.Command(bin, "-cc", "no-such-algo").CombinedOutput()
+			if err == nil {
+				t.Fatalf("%s accepted -cc no-such-algo:\n%s", cli, out)
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("%s did not run: %v", cli, err)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("%s exit code %d, want 2; output:\n%s", cli, code, out)
+			}
+			msg := string(out)
+			if !strings.Contains(msg, `"no-such-algo"`) || !strings.Contains(msg, "dcqcn") || !strings.Contains(msg, "switch-assist") {
+				t.Fatalf("%s error does not name the bad flag and registered algorithms:\n%s", cli, msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package cc
+
+// Signal-delivery benchmarks for the cc subsystem: ns/op and allocs/op
+// for the per-ACK and per-hint controller paths plus the fabric-side
+// sampler. `make bench-json` runs them via TestCCBenchArtifact and
+// writes BENCH_8.json; the hard budgets are enforced by the
+// TestAllocBudget* tests in alloc_test.go (non-race builds).
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dcqcn/internal/packet"
+)
+
+// BenchmarkDCTCPOnAck measures one ACK-echo delivery into the
+// DCTCP-style controller (window bookkeeping plus the occasional
+// control decision).
+func BenchmarkDCTCPOnAck(b *testing.B) {
+	b.ReportAllocs()
+	c := NewDCTCPRate(*dctcpDefaults(testLineRate).(*DCTCPParams))
+	s := AckSample{Packets: 4, Marked: 1, PayloadBytes: 4000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.OnAck(s)
+	}
+}
+
+// BenchmarkPolicyOnAck measures one ACK-echo delivery through the
+// policy table: signal dispatch, rule scan, action application.
+func BenchmarkPolicyOnAck(b *testing.B) {
+	b.ReportAllocs()
+	c := NewPolicy(*policyDefaults(testLineRate).(*PolicyParams))
+	s := AckSample{Packets: 10, Marked: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.OnAck(s)
+	}
+}
+
+// BenchmarkSwitchAssistOnHint measures one occupancy-hint delivery:
+// the linear cut map plus the RP's CutRate (timer re-arm included).
+func BenchmarkSwitchAssistOnHint(b *testing.B) {
+	b.ReportAllocs()
+	c := NewSwitchAssist(*switchAssistDefaults(testLineRate).(*SwitchAssistParams), &fakeClock{})
+	defer c.Stop()
+	h := SwitchHint{QueueBytes: 300 * 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.OnSwitchHint(h)
+	}
+}
+
+// BenchmarkSwitchAssistSampler measures the fabric-side sampler per
+// data packet at egress enqueue (the only cc code on the switch path).
+func BenchmarkSwitchAssistSampler(b *testing.B) {
+	b.ReportAllocs()
+	p := switchAssistDefaults(testLineRate).(*SwitchAssistParams)
+	sample := switchAssistSampler(p, FabricContext{Switch: "SW"})
+	pkt := &packet.Packet{Type: packet.Data, Flow: 1}
+	pkt.Size = 1000
+	sample(pkt, p.QMax)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sample(pkt, p.QMax)
+	}
+}
+
+// TestCCBenchArtifact runs the budgeted signal paths under
+// testing.Benchmark and writes ns/op + allocs/op next to each path's
+// pinned budget as JSON to the path in $BENCH_JSON (skipped when unset
+// — this is the `make bench-json` entry point, not part of the normal
+// suite).
+func TestCCBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to write the benchmark artifact")
+	}
+	type entry struct {
+		Path        string  `json:"path"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		BudgetNote  string  `json:"budget"`
+		BudgetMax   float64 `json:"budget_allocs_per_op"`
+	}
+	cases := []struct {
+		path   string
+		bench  func(*testing.B)
+		note   string
+		budget float64
+	}{
+		{"cc-dctcp-onack", BenchmarkDCTCPOnAck, "zero per ACK", 0},
+		{"cc-policy-onack", BenchmarkPolicyOnAck, "zero per ACK", 0},
+		{"cc-switch-assist-onhint", BenchmarkSwitchAssistOnHint, "RP rate-timer re-arm closure + cancel", 2},
+		{"cc-switch-assist-sampler", BenchmarkSwitchAssistSampler, "one Hint frame per HintBytes, amortized", 0.05},
+	}
+	var entries []entry
+	for _, c := range cases {
+		res := testing.Benchmark(c.bench)
+		entries = append(entries, entry{
+			Path:        c.path,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			BudgetNote:  c.note,
+			BudgetMax:   c.budget,
+		})
+		t.Logf("%s: %d ns/op, %d allocs/op (budget %.2f)", c.path, res.NsPerOp(), res.AllocsPerOp(), c.budget)
+	}
+	art := struct {
+		Benchmark string  `json:"benchmark"`
+		Entries   []entry `json:"entries"`
+	}{Benchmark: "cc-signal-delivery", Entries: entries}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

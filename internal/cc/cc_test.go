@@ -1,0 +1,165 @@
+package cc
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"dcqcn/internal/simtime"
+)
+
+// fakeClock is a minimal manual core.Clock for constructing controllers.
+type fakeClock struct {
+	now simtime.Time
+}
+
+func (c *fakeClock) Now() simtime.Time { return c.now }
+
+func (c *fakeClock) After(d simtime.Duration, fn func()) func() {
+	return func() {}
+}
+
+const testLineRate = 40 * simtime.Gbps
+
+// TestRegistryComplete pins the registered algorithm set: a PR that
+// drops a registration (or renames one) fails here, not in a CLI.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"dcqcn", "dctcp", "fixed", "policy", "qcn", "switch-assist", "timely"}
+	got := Names()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Names() not sorted: %v", got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("registered algorithms = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered algorithms = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRegistryDefaults exercises every algorithm through the whole
+// selection surface: defaults validate, a controller constructs, its
+// Capabilities agree with the registry's Caps, and the declared
+// capabilities are backed by the matching reactor interfaces.
+func TestRegistryDefaults(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sel, err := Select(name, testLineRate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sel.Params.Validate(); err != nil {
+				t.Fatalf("defaults do not validate: %v", err)
+			}
+			caps := sel.Caps()
+			ctrl := sel.Algorithm.New(sel.Params, &fakeClock{})
+			if ctrl == nil {
+				t.Fatal("New returned nil")
+			}
+			defer ctrl.Stop()
+			if got := ctrl.Capabilities(); got != caps {
+				t.Errorf("controller Capabilities() = %v, registry Caps = %v", got, caps)
+			}
+			// Every declared capability must be backed by the matching
+			// reactor interface — the NIC's unchecked assertions depend on
+			// it. (The converse may not hold: policy implements every
+			// reactor but declares only what its table references.)
+			if _, ok := ctrl.(AckReactor); caps&CapAckECN != 0 && !ok {
+				t.Error("declares CapAckECN without implementing AckReactor")
+			}
+			if _, ok := ctrl.(RTTReactor); caps&CapRTT != 0 && !ok {
+				t.Error("declares CapRTT without implementing RTTReactor")
+			}
+			if _, ok := ctrl.(QCNReactor); caps&CapQCN != 0 && !ok {
+				t.Error("declares CapQCN without implementing QCNReactor")
+			}
+			if _, ok := ctrl.(HintReactor); caps&CapHint != 0 && !ok {
+				t.Error("declares CapHint without implementing HintReactor")
+			}
+			if ctrl.Rate() <= 0 {
+				t.Errorf("initial rate %v, want positive", ctrl.Rate())
+			}
+			// ParamsJSON must re-apply onto the same selection: the
+			// provenance record is a valid -cc-params overlay.
+			if err := sel.ApplyParamsJSON(sel.ParamsJSON()); err != nil {
+				t.Errorf("ParamsJSON does not round-trip: %v", err)
+			}
+		})
+	}
+}
+
+// TestRegisterPanics pins the registration contract: empty names,
+// missing constructors and duplicates are programming errors.
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, a Algorithm) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(a)
+	}
+	mustPanic("empty name", Algorithm{})
+	mustPanic("missing ctors", Algorithm{Name: "x-test"})
+	dup, _ := Lookup("dcqcn")
+	mustPanic("duplicate", dup)
+}
+
+// TestSelectUnknown pins the unknown-name error shape every CLI relies
+// on: it must fail (not fall back) and list what is registered.
+func TestSelectUnknown(t *testing.T) {
+	_, err := Select("no-such-algo", testLineRate)
+	if err == nil {
+		t.Fatal("Select(unknown) succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered algorithm %q", err, name)
+		}
+	}
+}
+
+// TestParseSelections covers the -cc flag grammar.
+func TestParseSelections(t *testing.T) {
+	sels, err := ParseSelections("dcqcn, timely,dctcp", testLineRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) != 3 || sels[0].Name != "dcqcn" || sels[1].Name != "timely" || sels[2].Name != "dctcp" {
+		t.Fatalf("ParseSelections order wrong: %+v", sels)
+	}
+	if _, err := ParseSelections("dcqcn,dcqcn", testLineRate); err == nil {
+		t.Error("duplicate selection accepted")
+	}
+	if _, err := ParseSelections("", testLineRate); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := ParseSelections("dcqcn,bogus", testLineRate); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestApplyParamsJSON covers the -cc-params overlay: refinement works,
+// unknown fields and validation failures are rejected.
+func TestApplyParamsJSON(t *testing.T) {
+	sel, err := Select("dctcp", testLineRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sel.ApplyParamsJSON([]byte(`{"G": 0.25}`)); err != nil {
+		t.Fatal(err)
+	}
+	if g := sel.Params.(*DCTCPParams).G; g != 0.25 {
+		t.Errorf("G = %g after overlay, want 0.25", g)
+	}
+	if err := sel.ApplyParamsJSON([]byte(`{"NoSuchKnob": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := sel.ApplyParamsJSON([]byte(`{"G": -1}`)); err == nil {
+		t.Error("invalid overlay accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Registration of the built-in algorithm zoo. Importing the cc package
+// is enough to make every algorithm selectable by name.
+
+package cc
+
+import (
+	"dcqcn/internal/core"
+	"dcqcn/internal/rocev2"
+	"dcqcn/internal/simtime"
+)
+
+func init() {
+	Register(Algorithm{
+		Name:        "dcqcn",
+		Description: "DCQCN (SIGCOMM 2015): ECN-marked CNPs, alpha-EWMA cuts, byte-counter/timer recovery",
+		Defaults:    dcqcnDefaults,
+		New:         newDCQCN,
+		Caps:        func(Params) Capability { return CapCNP | CapBytesSent },
+	})
+	Register(Algorithm{
+		Name:        "fixed",
+		Description: "no congestion control: send at a fixed rate (the PFC-only baseline)",
+		Defaults: func(lineRate simtime.Rate) Params {
+			return &FixedParams{Rate: lineRate}
+		},
+		New: func(p Params, _ core.Clock) Controller {
+			return fixedController{rocev2.FixedRate(p.(*FixedParams).Rate)}
+		},
+		Caps: func(Params) Capability { return 0 },
+	})
+	Register(Algorithm{
+		Name:        "qcn",
+		Description: "802.1Qau QCN baseline: quantized L2 feedback, blind beyond one IP hop (§2.3)",
+		Defaults:    qcnDefaults,
+		New:         newQCN,
+		Caps:        func(Params) Capability { return CapQCN | CapBytesSent },
+		Sampler:     qcnSampler,
+	})
+	Register(Algorithm{
+		Name:        "timely",
+		Description: "TIMELY (SIGCOMM 2015): RTT-gradient rate control, DCQCN's delay-based contemporary",
+		Defaults:    timelyDefaults,
+		New:         newTimely,
+		Caps:        func(Params) Capability { return CapRTT },
+	})
+	Register(Algorithm{
+		Name:        "dctcp",
+		Description: "rate-based DCTCP: per-ACK ECN-echo fraction drives alpha/2 cuts per window",
+		Defaults:    dctcpDefaults,
+		New:         newDCTCP,
+		Caps:        func(Params) Capability { return CapAckECN },
+	})
+	Register(Algorithm{
+		Name:        "switch-assist",
+		Description: "switch-assisted throttling (arXiv:2106.14100): fabric occupancy hints drive proportional cuts",
+		Defaults:    switchAssistDefaults,
+		New:         newSwitchAssist,
+		Caps:        func(Params) Capability { return CapHint | CapBytesSent },
+		Sampler:     switchAssistSampler,
+	})
+	Register(Algorithm{
+		Name:        "policy",
+		Description: "JSON-loadable (signal-bucket -> rate-action) table, the RL-CC-shaped hook (arXiv:2207.02295)",
+		Defaults:    policyDefaults,
+		New:         newPolicy,
+		Caps: func(p Params) Capability {
+			return p.(*PolicyParams).caps()
+		},
+	})
+}

@@ -47,7 +47,7 @@ func twoFlowConvergence(params core.Params, fid Fidelity, tweak func(*topology.O
 // twoFlowConvergenceRun is the seeded variant of twoFlowConvergence; run
 // 0 reproduces the historical seeds.
 func twoFlowConvergenceRun(params core.Params, run uint64, fid Fidelity, tweak func(*topology.Options)) (diff, total float64, dig engine.Digest) {
-	opts := options(ModeDCQCN, 9+run*7919)
+	opts := options(ModeDCQCN, 9+run*7919, fid)
 	opts.NIC.Controller = nic.DCQCNFactory(params)
 	opts.Switch.Marking = params
 	if tweak != nil {
@@ -117,7 +117,7 @@ func AblationG(fid Fidelity) []AblationResult {
 func ablationGRun(g float64, run uint64, fid Fidelity) (AblationResult, engine.Digest) {
 	p := core.DefaultParams()
 	p.G = g
-	opts := options(ModeDCQCN, 4+run*7919)
+	opts := options(ModeDCQCN, 4+run*7919, fid)
 	opts.NIC.Controller = nic.DCQCNFactory(p)
 	opts.Switch.Marking = p
 	const degree = 16
@@ -150,12 +150,12 @@ func ablationGRun(g float64, run uint64, fid Fidelity) (AblationResult, engine.D
 // DCQCN (which starts at line rate) against DCTCP (which slow starts) on
 // an otherwise idle fabric — the design rationale of §3.1(iii). The
 // 10 µs host link delay models the software stack RTT DCTCP pays.
-func AblationFastStart() []AblationResult {
+func AblationFastStart(fid Fidelity) []AblationResult {
 	const size = 500 * 1000
 	var out []AblationResult
 
 	{
-		opts := options(ModeDCQCN, 5)
+		opts := options(ModeDCQCN, 5, fid)
 		opts.HostLinkDelay = 10 * simtime.Microsecond
 		net := topology.NewStar(66, 2, opts)
 		var fct simtime.Duration
@@ -224,7 +224,7 @@ func AblationRAI(fid Fidelity) []AblationResult {
 func ablationRAIRun(rai simtime.Rate, run uint64, fid Fidelity) (AblationResult, engine.Digest) {
 	p := core.DefaultParams()
 	p.RAI = rai
-	opts := options(ModeDCQCN, 6+run*7919)
+	opts := options(ModeDCQCN, 6+run*7919, fid)
 	opts.NIC.Controller = nic.DCQCNFactory(p)
 	opts.Switch.Marking = p
 	const degree = 32

@@ -117,7 +117,7 @@ func RegisterChaosScenarios(reg *harness.Registry, fid Fidelity) {
 // packets never reach the stormed receiver), which is exactly why the
 // paper's fix was NIC firmware plus watchdogs, not congestion control.
 func ChaosPauseStormRun(mode Mode, run uint64, fid Fidelity) (harness.Metrics, engine.Digest) {
-	opts := options(mode, run*7919+3)
+	opts := options(mode, run*7919+3, fid)
 	net := topology.NewStar(int64(run)*104729+11, 4, opts)
 	tl := newChaosTimeline(fid)
 	aud := invariant.Attach(net)
@@ -174,7 +174,7 @@ func registerChaosPauseStorm(reg *harness.Registry, fid Fidelity, seeds []int64)
 // recover through go-back-N timeouts while its seven peers keep the
 // bottleneck saturated.
 func ChaosFlapIncastRun(flaps int, run uint64, fid Fidelity) (harness.Metrics, engine.Digest) {
-	opts := options(ModeDCQCN, run*7919+5)
+	opts := options(ModeDCQCN, run*7919+5, fid)
 	// The deployment-era 16 ms RTO would eat the whole measurement
 	// window; ConnectX-4-class firmware recovers in low milliseconds.
 	opts.NIC.Transport.RTO = 2 * simtime.Millisecond
@@ -247,7 +247,7 @@ func registerChaosFlapIncast(reg *harness.Registry, fid Fidelity, seeds []int64)
 // and off again, so the run exposes both the §7 collapse and the
 // recovery slope once the link heals.
 func ChaosLossyLinkRun(lossRate float64, run uint64, fid Fidelity) (harness.Metrics, engine.Digest) {
-	opts := options(ModeDCQCN, run*7919+7)
+	opts := options(ModeDCQCN, run*7919+7, fid)
 	opts.NIC.Transport.RTO = 2 * simtime.Millisecond
 	opts.HostLinkDelay = 25 * simtime.Microsecond // loaded multi-hop RTT, as randomloss
 	net := topology.NewStar(int64(run)*104729+17, 2, opts)
@@ -306,7 +306,7 @@ func registerChaosLossyLink(reg *harness.Registry, fid Fidelity, seeds []int64) 
 // congestion-spreading argument — and a victim flow H15->H25 that shares
 // only the T1 uplinks with the feeders collapses too.
 func ChaosVictimStormRun(mode Mode, run uint64, fid Fidelity) (harness.Metrics, engine.Digest) {
-	opts := options(mode, run*7919+9)
+	opts := options(mode, run*7919+9, fid)
 	opts.Shards = fid.Shards
 	net := topology.NewTestbed(int64(run)*104729+19, opts)
 	tl := newChaosTimeline(fid)
@@ -366,7 +366,7 @@ func registerChaosVictimStorm(reg *harness.Registry, fid Fidelity, seeds []int64
 // storm (a self-sustaining credit loop, the true §2 nightmare) or
 // dissolves with it.
 func ChaosDeadlockProbeRun(run uint64, fid Fidelity) (harness.Metrics, engine.Digest) {
-	opts := options(ModePFCOnly, run*7919+11)
+	opts := options(ModePFCOnly, run*7919+11, fid)
 	opts.Switch.StaticPFCThreshold = 30 * 1000
 	// Pace senders below ring capacity (two hosts share each ring link)
 	// so steady-state congestion alone cannot close the wait graph: the

@@ -9,8 +9,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 
+	"dcqcn/internal/cc"
 	"dcqcn/internal/core"
 	"dcqcn/internal/nic"
 
@@ -72,6 +74,15 @@ type Fidelity struct {
 	// to sequential runs; topologies that cannot split (stars) fall
 	// back to sequential quietly.
 	Shards int
+	// CC selects the congestion-control algorithm by registry name for
+	// the DCQCN modes of every scenario (the PFC-only baseline keeps its
+	// fixed-rate sender). Empty means "dcqcn" — the deployed algorithm,
+	// routed through the internal/cc framework either way.
+	CC string
+	// CCParams, if non-nil, is a JSON object overlaid onto the selected
+	// algorithm's default parameters (the -cc-params flag; see
+	// cc.Selection.ApplyParamsJSON).
+	CCParams json.RawMessage
 }
 
 // Quick returns the fidelity used by tests and benchmarks.
@@ -85,8 +96,9 @@ func Full() Fidelity {
 }
 
 // options builds topology options for a mode. ECMP seed base is set per
-// run by the caller.
-func options(mode Mode, seedBase uint64) topology.Options {
+// run by the caller; fid selects the congestion-control algorithm for
+// the DCQCN modes.
+func options(mode Mode, seedBase uint64, fid Fidelity) topology.Options {
 	opts := topology.DefaultOptions()
 	opts.ECMPSeedBase = seedBase
 	// Real RoCEv2 NICs have no congestion window: an uncontrolled sender
@@ -100,22 +112,39 @@ func options(mode Mode, seedBase uint64) topology.Options {
 	// timer never fires; without it, this is why the paper's Fig. 18
 	// shows flows that effectively never recover.
 	opts.NIC.Transport.RTO = 16 * simtime.Millisecond
-	params := core.DefaultParams()
-	switch mode {
-	case ModePFCOnly:
+	if mode == ModePFCOnly {
 		opts.NIC.Controller = nic.FixedRateFactory(40 * simtime.Gbps)
 		opts.NIC.NPEnabled = false
 		opts.Switch.Marking.KMin = 1 << 40 // marking off
 		opts.Switch.Marking.KMax = 1 << 40
+		return opts
+	}
+	// The DCQCN modes route through the cc registry — the default
+	// algorithm included, so the golden digests exercise the framework —
+	// and fid.CC swaps the algorithm under the same scenario.
+	sel, err := cc.Select(ccName(fid), 40*simtime.Gbps)
+	if err != nil {
+		panic(err) // CLI flags are resolved against the registry up front
+	}
+	if fid.CCParams != nil {
+		if err := sel.ApplyParamsJSON(fid.CCParams); err != nil {
+			panic(err) // ditto: the CLI validates the overlay before running
+		}
+	}
+	params := core.DefaultParams()
+	if rp, ok := sel.Params.(*core.Params); ok {
+		// Keep the receiver NP and switch marking consistent with the
+		// algorithm's own RP parameters.
+		params = *rp
+	}
+	opts.NIC.NP = params
+	switch mode {
 	case ModeDCQCN:
-		opts.NIC.Controller = nic.DCQCNFactory(params)
 		opts.Switch.Marking = params
 	case ModeDCQCNNoPFC:
-		opts.NIC.Controller = nic.DCQCNFactory(params)
 		opts.Switch.Marking = params
 		opts.Switch.PFCEnabled = false
 	case ModeDCQCNMisconfigured:
-		opts.NIC.Controller = nic.DCQCNFactory(params)
 		// Static threshold at the §4 upper bound, ECN at 120 KB (~5x):
 		// ECN-before-PFC is no longer guaranteed.
 		opts.Switch.StaticPFCThreshold = 24475
@@ -124,7 +153,19 @@ func options(mode Mode, seedBase uint64) topology.Options {
 		m.KMax = 200 * 1000
 		opts.Switch.Marking = m
 	}
+	// Last, so capability-driven adjustments (NP off, denser ACKs,
+	// marking off for delay/hint algorithms in the well-configured mode)
+	// take precedence over the per-mode marking defaults above.
+	topology.ApplyCC(&opts, sel, mode == ModeDCQCN)
 	return opts
+}
+
+// ccName resolves the fidelity's algorithm name, defaulting to DCQCN.
+func ccName(fid Fidelity) string {
+	if fid.CC == "" {
+		return "dcqcn"
+	}
+	return fid.CC
 }
 
 // openFlow is the workload adapter for a built network.

@@ -289,7 +289,7 @@ func TestAblations(t *testing.T) {
 		t.Error("timer-dominated recovery should converge at least as well as byte-counter-dominated")
 	}
 
-	fs := AblationFastStart()
+	fs := AblationFastStart(Quick())
 	if fs[0].Metrics["FCT (us)"] >= fs[1].Metrics["FCT (us)"] {
 		t.Errorf("line-rate start FCT %.0fus should beat slow start %.0fus",
 			fs[0].Metrics["FCT (us)"], fs[1].Metrics["FCT (us)"])

@@ -38,7 +38,7 @@ func FluidVsPacket(fid Fidelity) FluidVsPacketResult {
 	}
 
 	// --- Packet-level run ---
-	opts := options(ModeDCQCN, 1)
+	opts := options(ModeDCQCN, 1, fid)
 	net := topology.NewStar(11, 3, opts)
 	open := openFlow(net)
 	repostLoop(open("H1", "H3"), 8*1000*1000, func(rocev2.Completion) {})

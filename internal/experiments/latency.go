@@ -35,7 +35,7 @@ func Fig19(fid Fidelity) Fig19Result {
 
 	// --- DCQCN ---
 	{
-		opts := options(ModeDCQCN, 3)
+		opts := options(ModeDCQCN, 3, fid)
 		net := topology.NewStar(41, degree+1, opts)
 		open := openFlow(net)
 		recv := fmt.Sprintf("H%d", degree+1)
@@ -122,7 +122,7 @@ func Fig20(fid Fidelity) []Fig20Result {
 			params = params.WithCutoffMarking(40 * 1000)
 			label = "cut-off (DCTCP-like, 40KB)"
 		}
-		opts := options(ModeDCQCN, 2)
+		opts := options(ModeDCQCN, 2, fid)
 		opts.NIC.Controller = nic.DCQCNFactory(params)
 		opts.Switch.Marking = params
 		net := topology.NewTestbed(77, opts)

@@ -96,7 +96,7 @@ func Fig13(cfg Fig13Config, fid Fidelity) Fig13Result {
 // placement, giving sweeps statistical weight.
 func Fig13Run(cfg Fig13Config, run uint64, fid Fidelity) (Fig13Result, engine.Digest) {
 	params := cfg.params()
-	opts := options(ModeDCQCN, 1+run*7919)
+	opts := options(ModeDCQCN, 1+run*7919, fid)
 	opts.NIC.Controller = nic.DCQCNFactory(params)
 	opts.Switch.Marking = params
 	net := topology.NewStar(int64(cfg)*31+5+int64(run)*104729, 4, opts)
@@ -185,7 +185,7 @@ func IncastSummary(degrees []int, fid Fidelity) []IncastSummaryPoint {
 // reproduces the historical seeds of IncastSummary; other run indices
 // re-roll the topology RNG and ECMP placement.
 func IncastRun(k int, run uint64, fid Fidelity) (IncastSummaryPoint, engine.Digest) {
-	opts := options(ModeDCQCN, uint64(k)+run*7919)
+	opts := options(ModeDCQCN, uint64(k)+run*7919, fid)
 	net := topology.NewStar(int64(k)*13+3+int64(run)*104729, k+1, opts)
 	open := openFlow(net)
 	recv := fmt.Sprintf("H%d", k+1)

@@ -38,7 +38,7 @@ func RandomLoss(rates []float64, fid Fidelity) []RandomLossPoint {
 // given per-frame loss probability. The run index re-rolls the loss and
 // topology RNG (RandomLoss historically used the rate's list index).
 func RandomLossRun(lossRate float64, run uint64, fid Fidelity) (RandomLossPoint, engine.Digest) {
-	opts := options(ModeDCQCN, 8)
+	opts := options(ModeDCQCN, 8, fid)
 	// Faster RTO than the deployment default keeps the measurement
 	// window informative at high loss; the relative collapse is what
 	// matters. The 25 us links model a loaded multi-hop path (~100 us

@@ -32,7 +32,7 @@ func TimelyComparison(fid Fidelity) []TimelyComparisonResult {
 	const degree = 8
 	var out []TimelyComparisonResult
 	for _, proto := range []string{"DCQCN", "TIMELY"} {
-		opts := options(ModeDCQCN, 12)
+		opts := options(ModeDCQCN, 12, fid)
 		if proto == "TIMELY" {
 			opts.NIC.NPEnabled = false
 			opts.NIC.Transport.AckEvery = 4 // denser RTT samples

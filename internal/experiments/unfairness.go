@@ -58,7 +58,7 @@ func UnfairnessRun(mode Mode, run uint64, fid Fidelity) ([]*stats.Sample, engine
 	for i := range samples {
 		samples[i] = &stats.Sample{}
 	}
-	net := topologyTestbed(mode, run, fid.Shards)
+	net := topologyTestbed(mode, run, fid.Shards, fid)
 	open := openFlow(net)
 	warmEnd := simtime.Time(fid.Warmup)
 	for i, h := range hosts {
@@ -80,8 +80,8 @@ func UnfairnessRun(mode Mode, run uint64, fid Fidelity) ([]*stats.Sample, engine
 // topologyTestbed builds the Fig. 2 testbed for a mode and run index;
 // both the RNG seed and the ECMP hash seeds vary per run, as the paper's
 // repeated runs re-roll ECMP placement.
-func topologyTestbed(mode Mode, run uint64, shards int) *topology.Network {
-	opts := options(mode, run*7919+1)
+func topologyTestbed(mode Mode, run uint64, shards int, fid Fidelity) *topology.Network {
+	opts := options(mode, run*7919+1, fid)
 	opts.Shards = shards
 	return topology.NewTestbed(int64(run)*104729+7, opts)
 }
@@ -143,7 +143,7 @@ func VictimFlow(mode Mode, sendersUnderT3 []int, fid Fidelity) VictimFlowResult 
 // engine digest.
 func VictimFlowRun(mode Mode, extra int, run uint64, fid Fidelity) (*stats.Sample, engine.Digest) {
 	victim := &stats.Sample{}
-	net := topologyTestbed(mode, run, fid.Shards)
+	net := topologyTestbed(mode, run, fid.Shards, fid)
 	open := openFlow(net)
 	warmEnd := simtime.Time(fid.Warmup)
 	// Incast: H11..H14 -> R(H41). The transfers are large (long

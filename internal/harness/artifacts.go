@@ -47,9 +47,14 @@ type Provenance struct {
 	Invariants bool `json:"invariants_armed"`
 	// FlightRec records whether the flight recorder was armed (via
 	// flightrec.Arm) for every run this sweep executed.
-	FlightRec bool     `json:"flightrec_armed"`
-	Fidelity  string   `json:"fidelity"`
-	Scenarios []string `json:"scenarios"`
+	FlightRec bool   `json:"flightrec_armed"`
+	Fidelity  string `json:"fidelity"`
+	// CC and CCParams record the congestion-control selection driving
+	// the DCQCN modes of every scenario in this sweep: the registry name
+	// and the exact (possibly -cc-params-refined) parameter set.
+	CC        string          `json:"cc,omitempty"`
+	CCParams  json.RawMessage `json:"cc_params,omitempty"`
+	Scenarios []string        `json:"scenarios"`
 	// Seeds maps scenario name to its seed list.
 	Seeds     map[string][]int64 `json:"seeds"`
 	TotalRuns int                `json:"total_runs"`

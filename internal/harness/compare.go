@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dcqcn/internal/stats"
+)
+
+// CCCompareFile is the head-to-head comparison artifact written when a
+// sweep runs the scenario matrix once per congestion-control algorithm.
+const CCCompareFile = "cc_compare.json"
+
+// CCAlgoResult is one algorithm's slice of a head-to-head sweep: its
+// identity (name, capability set, exact parameters) and its aggregated
+// results over the same scenario grid every other algorithm ran.
+type CCAlgoResult struct {
+	CC           string          `json:"cc"`
+	Capabilities string          `json:"capabilities"`
+	Params       json.RawMessage `json:"params"`
+	TotalRuns    int             `json:"total_runs"`
+	TotalEvents  uint64          `json:"total_events"`
+	WallMS       float64         `json:"wall_ms"`
+	Summaries    []PointSummary  `json:"summaries"`
+}
+
+// CCComparison is the cc_compare.json schema: the shared scenario list
+// plus per-algorithm results, in the order the algorithms were selected.
+type CCComparison struct {
+	SchemaVersion int            `json:"schema_version"`
+	Scenarios     []string       `json:"scenarios"`
+	Algorithms    []CCAlgoResult `json:"algorithms"`
+}
+
+// WriteCCComparison writes cc_compare.json into dir.
+func WriteCCComparison(dir string, cmp CCComparison) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, CCCompareFile), cmp)
+}
+
+// Table renders the comparison: one block per (scenario, point), one
+// column per algorithm, one row per metric, cells showing the mean over
+// seeds. Point order follows the first algorithm's summaries, which the
+// sweep emits deterministically.
+func (c CCComparison) Table() string {
+	if len(c.Algorithms) == 0 {
+		return ""
+	}
+	type key struct{ sc, pt string }
+	idx := make([]map[key]PointSummary, len(c.Algorithms))
+	for i, a := range c.Algorithms {
+		idx[i] = make(map[key]PointSummary, len(a.Summaries))
+		for _, s := range a.Summaries {
+			idx[i][key{s.Scenario, s.Point}] = s
+		}
+	}
+	header := []string{"metric"}
+	for _, a := range c.Algorithms {
+		header = append(header, a.CC)
+	}
+	var b strings.Builder
+	for _, s := range c.Algorithms[0].Summaries {
+		k := key{s.Scenario, s.Point}
+		names := map[string]bool{}
+		for i := range c.Algorithms {
+			for m := range idx[i][k].Metrics {
+				names[m] = true
+			}
+		}
+		metrics := make([]string, 0, len(names))
+		for m := range names {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		t := stats.Table{Header: header}
+		for _, m := range metrics {
+			row := []string{m}
+			for i := range c.Algorithms {
+				ms, ok := idx[i][k].Metrics[m]
+				if !ok || ms.N == 0 {
+					row = append(row, "-")
+				} else {
+					row = append(row, fmt.Sprintf("%.3f", ms.Mean))
+				}
+			}
+			t.AddRow(row...)
+		}
+		fmt.Fprintf(&b, "--- %s / %s\n%s\n", k.sc, k.pt, t.String())
+	}
+	return b.String()
+}

@@ -44,6 +44,7 @@ const hotAllowDirective = "//hot:allow"
 // the contract cannot be silently deleted annotation by annotation.
 // The escape auditor (internal/escape) scans the same list.
 var HotPackages = []string{
+	"dcqcn/internal/cc",
 	"dcqcn/internal/engine",
 	"dcqcn/internal/eventq",
 	"dcqcn/internal/link",

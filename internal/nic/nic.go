@@ -16,6 +16,7 @@ package nic
 import (
 	"fmt"
 
+	"dcqcn/internal/cc"
 	"dcqcn/internal/core"
 	"dcqcn/internal/engine"
 	"dcqcn/internal/eventq"
@@ -174,6 +175,19 @@ type flowState struct {
 	qp   *rocev2.Sender
 	ctrl rocev2.RateController
 
+	// Typed signal subscriptions, resolved once at OpenFlow (capability
+	// discovery for cc.Controller implementations, interface probing for
+	// legacy controllers), so the per-packet receive path pays a nil
+	// check — not an interface type assertion — per unconsumed signal.
+	rtt  RTTReactor
+	qcn  QCNReactor
+	ack  cc.AckReactor
+	hint cc.HintReactor
+	// lastEchoedSentAt is the newest send stamp an ACK has echoed back.
+	// Under go-back-N, duplicate-PSN re-ACKs echo an older (or zero)
+	// stamp; only a strictly newer echo yields a valid RTT sample.
+	lastEchoedSentAt simtime.Time
+
 	nextSendAt    simtime.Time // earliest start of the next transmission
 	lastSendAt    simtime.Time
 	lastSentBytes int
@@ -254,12 +268,43 @@ func (n *NIC) OpenFlow(dst packet.NodeID) *Flow {
 		qp:   rocev2.NewSender(id, tuple, n.cfg.Transport, n.clock, ctrl),
 		ctrl: ctrl,
 	}
-	if rp, ok := ctrl.(*core.RP); ok {
-		rp.OnRateChange = func(r simtime.Rate) {
-			n.onRateChange(fs)
-			if n.OnRateUpdate != nil {
-				n.OnRateUpdate(id, r)
-			}
+	rateHook := func(r simtime.Rate) {
+		n.onRateChange(fs)
+		if n.OnRateUpdate != nil {
+			n.OnRateUpdate(id, r)
+		}
+	}
+	if cctrl, ok := ctrl.(cc.Controller); ok {
+		// Capability discovery: subscribe only the signals the controller
+		// declares. The assertions are unchecked on purpose — a controller
+		// declaring a capability without the matching reactor method is a
+		// programming error that must fail loudly, at open time.
+		caps := cctrl.Capabilities()
+		if caps&cc.CapRTT != 0 {
+			fs.rtt = cctrl.(RTTReactor)
+		}
+		if caps&cc.CapQCN != 0 {
+			fs.qcn = cctrl.(QCNReactor)
+		}
+		if caps&cc.CapAckECN != 0 {
+			fs.ack = cctrl.(cc.AckReactor)
+		}
+		if caps&cc.CapHint != 0 {
+			fs.hint = cctrl.(cc.HintReactor)
+		}
+		cctrl.SetRateListener(rateHook)
+	} else {
+		// Legacy controllers built outside the cc registry: DCQCN's RP
+		// gets the rate hook it always had, delay/QCN baselines are
+		// probed structurally.
+		if rp, ok := ctrl.(*core.RP); ok {
+			rp.OnRateChange = rateHook
+		}
+		if rr, ok := ctrl.(RTTReactor); ok {
+			fs.rtt = rr
+		}
+		if qr, ok := ctrl.(QCNReactor); ok {
+			fs.qcn = qr
 		}
 	}
 	fs.qp.SetWakeFunc(func() { n.trySend(fs) })
@@ -461,8 +506,22 @@ func (n *NIC) consume(p *packet.Packet) {
 		rs.qp.OnData(p)
 	case packet.Ack:
 		if fs, ok := n.senders[p.Flow]; ok {
-			if rr, isRTT := fs.ctrl.(RTTReactor); isRTT && p.SentAt > 0 {
-				rr.OnRTT(n.sim.Now().Sub(p.SentAt))
+			if fs.rtt != nil && p.SentAt > fs.lastEchoedSentAt {
+				// Karn-style filter for go-back-N: after a retransmission
+				// the receiver keeps re-ACKing duplicate PSNs, echoing a
+				// stale (or never-set, zero) send stamp; only a strictly
+				// newer echo is a sample of the current network.
+				fs.lastEchoedSentAt = p.SentAt
+				if rtt := n.sim.Now().Sub(p.SentAt); rtt > 0 {
+					fs.rtt.OnRTT(rtt)
+				}
+			}
+			if fs.ack != nil && p.AckCount > 0 {
+				fs.ack.OnAck(cc.AckSample{
+					Packets:      int(p.AckCount),
+					Marked:       int(p.AckMarked),
+					PayloadBytes: p.AckPayload,
+				})
 			}
 			fs.qp.OnAck(p.PSN)
 		}
@@ -476,10 +535,12 @@ func (n *NIC) consume(p *packet.Packet) {
 			fs.ctrl.OnCNP()
 		}
 	case packet.QCNFb:
-		if fs, ok := n.senders[p.Flow]; ok {
-			if qr, ok := fs.ctrl.(QCNReactor); ok {
-				qr.OnQCNFeedback(p.QCNFeedback)
-			}
+		if fs, ok := n.senders[p.Flow]; ok && fs.qcn != nil {
+			fs.qcn.OnQCNFeedback(p.QCNFeedback)
+		}
+	case packet.Hint:
+		if fs, ok := n.senders[p.Flow]; ok && fs.hint != nil {
+			fs.hint.OnSwitchHint(cc.SwitchHint{QueueBytes: p.HintQueueBytes})
 		}
 	default:
 		// PFC frames are consumed by the port; anything else is a bug.

@@ -378,3 +378,55 @@ func TestCloseDuringNackStormDrainsPending(t *testing.T) {
 		t.Fatalf("packets sent after Close: %d -> %d", atClose.PacketsSent, after.PacketsSent)
 	}
 }
+
+// rttStub records every RTT sample the NIC dispatches to the controller.
+type rttStub struct {
+	rocev2.RateController
+	samples []simtime.Duration
+}
+
+func (r *rttStub) OnRTT(d simtime.Duration) { r.samples = append(r.samples, d) }
+
+// TestRTTSamplingFiltersGoBackN is the regression test for RTT sampling
+// under go-back-N: after a retransmission the receiver keeps re-ACKing
+// duplicate PSNs, echoing a stale (or never-set, zero) SentAt stamp.
+// Only a strictly newer echo may produce a sample, and a non-positive
+// difference (clock skew across shard boundaries, a zero stamp) must be
+// clamped rather than delivered as a negative RTT.
+func TestRTTSamplingFiltersGoBackN(t *testing.T) {
+	stub := &rttStub{RateController: rocev2.FixedRate(40 * simtime.Gbps)}
+	cfg := DefaultConfig()
+	cfg.Controller = func(core.Clock) rocev2.RateController { return stub }
+	tb := newTestbed(6, 2, cfg, fabric.DefaultConfig())
+	f := tb.nics[0].OpenFlow(2)
+
+	us := func(n int64) simtime.Time { return simtime.Time(simtime.Duration(n) * simtime.Microsecond) }
+	ack := func(sentAt simtime.Time) *packet.Packet {
+		return &packet.Packet{Type: packet.Ack, Flow: f.ID(), Size: 64, SentAt: sentAt}
+	}
+	deliver := func(at simtime.Time, p *packet.Packet) {
+		tb.sim.At(at, func() { tb.nics[0].HandlePacket(p, nil) })
+	}
+
+	deliver(us(100), ack(us(90)))   // fresh echo: 10us sample
+	deliver(us(110), ack(us(90)))   // duplicate-PSN re-ACK, same stamp: no sample
+	deliver(us(120), ack(0))        // never-stamped retransmit echo: no sample
+	deliver(us(130), ack(us(125)))  // newer echo: 5us sample
+	deliver(us(140), ack(us(1000))) // echo from the "future" (skew): no negative sample
+	tb.sim.Run(us(200))
+
+	want := []simtime.Duration{10 * simtime.Microsecond, 5 * simtime.Microsecond}
+	if len(stub.samples) != len(want) {
+		t.Fatalf("RTT samples %v, want %v", stub.samples, want)
+	}
+	for i := range want {
+		if stub.samples[i] != want[i] {
+			t.Fatalf("RTT samples %v, want %v", stub.samples, want)
+		}
+	}
+	for _, s := range stub.samples {
+		if s <= 0 {
+			t.Fatalf("non-positive RTT sample %v delivered", s)
+		}
+	}
+}

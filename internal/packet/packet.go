@@ -54,9 +54,10 @@ const (
 	Pause              // PFC PAUSE frame (per-priority XOFF)
 	Resume             // PFC frame with zero pause time (XON)
 	QCNFb              // QCN congestion feedback (baseline, L2 only)
+	Hint               // switch-assist occupancy hint (IP-routed, unlike QCNFb)
 )
 
-var typeNames = [...]string{"DATA", "ACK", "NACK", "CNP", "PAUSE", "RESUME", "QCNFB"}
+var typeNames = [...]string{"DATA", "ACK", "NACK", "CNP", "PAUSE", "RESUME", "QCNFB", "HINT"}
 
 // String returns the conventional name of the packet type.
 func (t Type) String() string {
@@ -122,6 +123,19 @@ type Packet struct {
 	// QCN frames (baseline only).
 	QCNFeedback float64
 
+	// HintQueueBytes is the egress occupancy a switch-assist Hint frame
+	// reports back to the flow's source (internal/cc switch-assist).
+	HintQueueBytes int64
+
+	// AckCount, AckMarked and AckPayload summarize what a cumulative ACK
+	// newly acknowledges: in-order data packets covered since the previous
+	// ACK, how many of them arrived CE-marked, and their payload bytes.
+	// ECN-fraction controllers (DCTCP-style, internal/cc) consume the
+	// ratio; DCQCN ignores all three (it reacts to CNPs instead).
+	AckCount   int32
+	AckMarked  int32
+	AckPayload int64
+
 	// SentAt is stamped by the origin NIC when the packet first enters the
 	// network; used for latency accounting.
 	SentAt simtime.Time
@@ -181,6 +195,21 @@ func NewCNP(f FlowID, tuple FiveTuple) *Packet {
 		Tuple:    tuple.Reverse(),
 		Size:     ControlBytes,
 		Priority: PrioControl,
+	}
+}
+
+// NewHint builds a switch-assist occupancy hint addressed back to the
+// flow's sender, reporting qlen bytes queued at the congested egress.
+// Unlike QCN feedback, hints carry the flow's IP tuple and are routed
+// across the fabric like CNPs, so they work beyond one L2 domain.
+func NewHint(f FlowID, tuple FiveTuple, qlen int64) *Packet {
+	return &Packet{
+		Type:           Hint,
+		Flow:           f,
+		Tuple:          tuple.Reverse(),
+		Size:           ControlBytes,
+		Priority:       PrioControl,
+		HintQueueBytes: qlen,
 	}
 }
 

@@ -1,4 +1,4 @@
-package qcn
+package qcn_test
 
 import (
 	"testing"
@@ -9,13 +9,14 @@ import (
 	"dcqcn/internal/link"
 	"dcqcn/internal/nic"
 	"dcqcn/internal/packet"
+	"dcqcn/internal/qcn"
 	"dcqcn/internal/simtest"
 	"dcqcn/internal/simtime"
 )
 
 func TestCPFeedbackSign(t *testing.T) {
-	cfg := DefaultCPConfig()
-	cp := NewCP(cfg, []packet.NodeID{1}, func() float64 { return 0 }) // always sample
+	cfg := qcn.DefaultCPConfig()
+	cp := qcn.NewCP(cfg, []packet.NodeID{1}, func() float64 { return 0 }) // always sample
 	p := packet.NewData(1, packet.FiveTuple{Src: 1, Dst: 2}, 0, packet.MTU, false)
 
 	// Queue far below equilibrium: Fb > 0, no feedback.
@@ -39,8 +40,8 @@ func TestCPFeedbackSign(t *testing.T) {
 }
 
 func TestCPL2Limitation(t *testing.T) {
-	cfg := DefaultCPConfig()
-	cp := NewCP(cfg, []packet.NodeID{1}, func() float64 { return 0 })
+	cfg := qcn.DefaultCPConfig()
+	cp := qcn.NewCP(cfg, []packet.NodeID{1}, func() float64 { return 0 })
 	remote := packet.NewData(2, packet.FiveTuple{Src: 99, Dst: 2}, 0, packet.MTU, false)
 	if fb := cp.Sample(remote, cfg.QEq*3); fb != nil {
 		t.Fatal("QCN CP generated feedback across an IP boundary")
@@ -55,7 +56,7 @@ func TestCPL2Limitation(t *testing.T) {
 
 func TestRPCutsProportionally(t *testing.T) {
 	clock := &simtest.Clock{}
-	rp := NewRP(LineRateParams(40*simtime.Gbps), clock)
+	rp := qcn.NewRP(qcn.LineRateParams(40*simtime.Gbps), clock)
 	if rp.Rate() != 40*simtime.Gbps {
 		t.Fatal("QCN RP must start at line rate")
 	}
@@ -78,7 +79,7 @@ func TestRPCutsProportionally(t *testing.T) {
 
 func TestRPRecovers(t *testing.T) {
 	clock := &simtest.Clock{}
-	rp := NewRP(LineRateParams(40*simtime.Gbps), clock)
+	rp := qcn.NewRP(qcn.LineRateParams(40*simtime.Gbps), clock)
 	rp.OnQCNFeedback(63)
 	clock.Advance(simtime.Duration(simtime.Second))
 	if rp.Rate() != 40*simtime.Gbps {
@@ -95,7 +96,7 @@ func TestQCNControlsSingleSwitchIncast(t *testing.T) {
 	swCfg.Marking.KMax = 1 << 40
 	sw := fabric.New(sim, 1000, "sw", 3, swCfg)
 	nicCfg := nic.DefaultConfig()
-	nicCfg.Controller = Factory(LineRateParams(40 * simtime.Gbps))
+	nicCfg.Controller = qcn.Factory(qcn.LineRateParams(40 * simtime.Gbps))
 	nicCfg.NPEnabled = false
 	var nics []*nic.NIC
 	var ids []packet.NodeID
@@ -106,7 +107,7 @@ func TestQCNControlsSingleSwitchIncast(t *testing.T) {
 		nics = append(nics, h)
 		ids = append(ids, h.ID)
 	}
-	cp := NewCP(DefaultCPConfig(), ids, sim.Rand().Float64)
+	cp := qcn.NewCP(qcn.DefaultCPConfig(), ids, sim.Rand().Float64)
 	sw.Sampler = cp.Sample
 
 	f1 := nics[0].OpenFlow(3)
@@ -118,7 +119,7 @@ func TestQCNControlsSingleSwitchIncast(t *testing.T) {
 	if cp.FeedbackSent == 0 {
 		t.Fatal("QCN CP never sent feedback under 2:1 incast")
 	}
-	r1 := f1.Controller().(*RP)
+	r1 := f1.Controller().(*qcn.RP)
 	if r1.Feedbacks == 0 {
 		t.Fatal("QCN RP never received feedback")
 	}
@@ -138,17 +139,17 @@ func TestQCNControlsSingleSwitchIncast(t *testing.T) {
 }
 
 func TestFactoryProducesIndependentRPs(t *testing.T) {
-	f := Factory(LineRateParams(40 * simtime.Gbps))
+	f := qcn.Factory(qcn.LineRateParams(40 * simtime.Gbps))
 	clock := &simtest.Clock{}
 	a, b := f(clock), f(clock)
-	a.(*RP).OnQCNFeedback(63)
+	a.(*qcn.RP).OnQCNFeedback(63)
 	if b.Rate() != 40*simtime.Gbps {
 		t.Fatal("controllers share state")
 	}
 }
 
 func TestParamsShareDCQCNRecoveryConstants(t *testing.T) {
-	p := LineRateParams(40 * simtime.Gbps)
+	p := qcn.LineRateParams(40 * simtime.Gbps)
 	d := core.DefaultParams()
 	if p.RateTimer != d.RateTimer || p.ByteCounter != d.ByteCounter || p.F != d.F {
 		t.Fatal("QCN baseline should reuse the deployed recovery constants")

@@ -384,7 +384,13 @@ type Receiver struct {
 	send     func(*packet.Packet) // emits ACK/NAK toward the sender
 	expected int64
 	sinceAck int
-	nacked   bool // a NAK for the current gap has been sent
+	// sinceAckMarked / sinceAckPayload count CE-marked in-order packets
+	// and delivered payload bytes since the last ACK; both are echoed on
+	// the next ACK so ECN-fraction controllers (internal/cc) can react
+	// per acknowledgement without per-packet ACKs.
+	sinceAckMarked  int
+	sinceAckPayload int64
+	nacked          bool // a NAK for the current gap has been sent
 	// lastDataSentAt is the SentAt timestamp of the most recent in-order
 	// data packet, echoed on ACKs for RTT measurement.
 	lastDataSentAt simtime.Time
@@ -416,6 +422,10 @@ func (r *Receiver) OnData(p *packet.Packet) {
 		r.nacked = false
 		r.lastDataSentAt = p.SentAt
 		r.sinceAck++
+		if p.CE {
+			r.sinceAckMarked++
+		}
+		r.sinceAckPayload += int64(p.Payload)
 		r.Stats.PacketsInOrder++
 		r.Stats.BytesDelivered += int64(p.Payload)
 		if p.Last {
@@ -441,11 +451,17 @@ func (r *Receiver) OnData(p *packet.Packet) {
 }
 
 func (r *Receiver) sendAck() {
-	r.sinceAck = 0
 	r.Stats.AcksSent++
 	ack := packet.NewAck(r.Flow, r.Tuple, r.expected-1)
 	// Echo the data packet's send timestamp so the sender can measure
 	// RTT (used by delay-based controllers like the TIMELY baseline).
 	ack.SentAt = r.lastDataSentAt
+	// Echo the ECN experience of the packets this ACK newly covers. A
+	// duplicate-PSN re-ACK covers nothing new: its counts are zero.
+	ack.AckCount = int32(r.sinceAck)
+	ack.AckMarked = int32(r.sinceAckMarked)
+	ack.AckPayload = r.sinceAckPayload
+	ack.ECE = r.sinceAckMarked > 0
+	r.sinceAck, r.sinceAckMarked, r.sinceAckPayload = 0, 0, 0
 	r.send(ack)
 }

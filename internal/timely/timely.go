@@ -20,6 +20,7 @@ package timely
 
 import (
 	"fmt"
+	"math"
 
 	"dcqcn/internal/core"
 	"dcqcn/internal/rocev2"
@@ -102,9 +103,16 @@ type Controller struct {
 	rttDiff        float64 // EWMA of RTT differences, seconds
 	negCount       int
 	lastDecreaseAt simtime.Time
+	onRate         func(simtime.Rate)
 
 	Stats Stats
 }
+
+// SetRateListener registers a hook invoked after every rate change, so a
+// NIC pacing engine can re-arm immediately instead of waiting for the
+// next packet boundary (the same eager re-arm DCQCN's RP gets through
+// OnRateChange). Passing nil unregisters.
+func (c *Controller) SetRateListener(fn func(simtime.Rate)) { c.onRate = fn }
 
 // New creates a TIMELY controller starting at line rate (like DCQCN,
 // TIMELY has no slow start). Without a clock the one-decrease-per-RTT
@@ -185,9 +193,15 @@ func (c *Controller) OnRTT(rtt simtime.Duration) {
 func (c *Controller) increase(n int) {
 	c.Stats.Increases++
 	c.negCount = max(c.negCount, 0)
+	prev := c.rate
 	c.rate += simtime.Rate(n) * c.params.AddStep
 	if c.rate > c.params.LineRate {
 		c.rate = c.params.LineRate
+	}
+	// Bit comparison, not float ==: the intent is exactly "the stored
+	// representation moved", the same idiom core.RP.setRC uses.
+	if math.Float64bits(float64(c.rate)) != math.Float64bits(float64(prev)) && c.onRate != nil {
+		c.onRate(c.rate)
 	}
 }
 
@@ -206,9 +220,13 @@ func (c *Controller) decrease(frac float64) {
 		c.lastDecreaseAt = now
 	}
 	c.Stats.Decreases++
+	prev := c.rate
 	c.rate = c.rate * simtime.Rate(1-frac)
 	if c.rate < c.params.MinRate {
 		c.rate = c.params.MinRate
+	}
+	if math.Float64bits(float64(c.rate)) != math.Float64bits(float64(prev)) && c.onRate != nil {
+		c.onRate(c.rate)
 	}
 }
 

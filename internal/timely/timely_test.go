@@ -1,4 +1,4 @@
-package timely
+package timely_test
 
 import (
 	"testing"
@@ -10,23 +10,24 @@ import (
 	"dcqcn/internal/packet"
 	"dcqcn/internal/rocev2"
 	"dcqcn/internal/simtime"
+	"dcqcn/internal/timely"
 )
 
 func TestValidation(t *testing.T) {
-	if err := DefaultParams().Validate(); err != nil {
+	if err := timely.DefaultParams().Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := []func(*Params){
-		func(p *Params) { p.EWMAAlpha = 0 },
-		func(p *Params) { p.THigh = p.TLow },
-		func(p *Params) { p.MinRTT = 0 },
-		func(p *Params) { p.AddStep = 0 },
-		func(p *Params) { p.Beta = 1 },
-		func(p *Params) { p.HAIThresh = 0 },
-		func(p *Params) { p.LineRate = p.MinRate },
+	bad := []func(*timely.Params){
+		func(p *timely.Params) { p.EWMAAlpha = 0 },
+		func(p *timely.Params) { p.THigh = p.TLow },
+		func(p *timely.Params) { p.MinRTT = 0 },
+		func(p *timely.Params) { p.AddStep = 0 },
+		func(p *timely.Params) { p.Beta = 1 },
+		func(p *timely.Params) { p.HAIThresh = 0 },
+		func(p *timely.Params) { p.LineRate = p.MinRate },
 	}
 	for i, mutate := range bad {
-		p := DefaultParams()
+		p := timely.DefaultParams()
 		mutate(&p)
 		if p.Validate() == nil {
 			t.Errorf("case %d passed validation", i)
@@ -35,7 +36,7 @@ func TestValidation(t *testing.T) {
 }
 
 func TestPureController(t *testing.T) {
-	c := New(DefaultParams())
+	c := timely.New(timely.DefaultParams())
 	if c.Rate() != 40*simtime.Gbps {
 		t.Fatal("TIMELY must start at line rate")
 	}
@@ -63,8 +64,8 @@ func TestPureController(t *testing.T) {
 }
 
 func TestGradientBand(t *testing.T) {
-	p := DefaultParams()
-	c := New(p)
+	p := timely.DefaultParams()
+	c := timely.New(p)
 	mid := (p.TLow + p.THigh) / 2
 	c.OnRTT(mid)
 	// Rising RTT within the band: positive gradient -> decrease.
@@ -102,8 +103,8 @@ func TestGradientBand(t *testing.T) {
 }
 
 func TestRateFloor(t *testing.T) {
-	p := DefaultParams()
-	c := New(p)
+	p := timely.DefaultParams()
+	c := timely.New(p)
 	c.OnRTT(10 * simtime.Microsecond)
 	for i := 0; i < 200; i++ {
 		c.OnRTT(simtime.Duration(10) * simtime.Millisecond) // hopeless RTT
@@ -125,7 +126,7 @@ func TestEndToEndIncast(t *testing.T) {
 	nicCfg := nic.DefaultConfig()
 	nicCfg.NPEnabled = false
 	nicCfg.Transport.AckEvery = 4 // denser RTT samples
-	nicCfg.Controller = Factory(DefaultParams())
+	nicCfg.Controller = timely.Factory(timely.DefaultParams())
 	var nics []*nic.NIC
 	for i := 0; i <= degree; i++ {
 		h := nic.New(sim, packet.NodeID(i+1), "h", nicCfg)
@@ -148,7 +149,7 @@ func TestEndToEndIncast(t *testing.T) {
 		if f.CurrentRate() >= 39*simtime.Gbps {
 			t.Errorf("flow %d still at ~line rate: %v", i, f.CurrentRate())
 		}
-		ctrl := f.Controller().(*Controller)
+		ctrl := f.Controller().(*timely.Controller)
 		if ctrl.Stats.Samples == 0 || ctrl.Stats.Decreases == 0 {
 			t.Errorf("flow %d: no RTT-driven control (%+v)", i, ctrl.Stats)
 		}
@@ -166,10 +167,10 @@ func TestEndToEndIncast(t *testing.T) {
 
 func TestFactoryStyleUse(t *testing.T) {
 	// The controller must be independently instantiable per flow.
-	a, b := New(DefaultParams()), New(DefaultParams())
+	a, b := timely.New(timely.DefaultParams()), timely.New(timely.DefaultParams())
 	a.OnRTT(10 * simtime.Microsecond)
 	a.OnRTT(simtime.Duration(2) * simtime.Millisecond)
-	if b.Rate() != DefaultParams().LineRate {
+	if b.Rate() != timely.DefaultParams().LineRate {
 		t.Fatal("controllers share state")
 	}
 }

@@ -11,6 +11,7 @@ package topology
 import (
 	"fmt"
 
+	"dcqcn/internal/cc"
 	"dcqcn/internal/engine"
 	"dcqcn/internal/fabric"
 	"dcqcn/internal/link"
@@ -42,6 +43,12 @@ type Options struct {
 	// sequential. Sharded and sequential runs of the same model and seed
 	// produce bit-identical digests.
 	Shards int
+	// CC, if set, is the selected congestion-control algorithm. The NIC
+	// side is configured through NIC.Controller (see ApplyCC); this field
+	// additionally attaches the algorithm's fabric-side sampler — the
+	// congestion point of QCN or switch-assist — to every switch at build
+	// time.
+	CC *cc.Selection
 }
 
 // DefaultOptions returns the paper's testbed defaults.
@@ -52,6 +59,30 @@ func DefaultOptions() Options {
 		HostLinkDelay:   500 * simtime.Nanosecond,
 		FabricLinkDelay: 500 * simtime.Nanosecond,
 		HostsPerToR:     5,
+	}
+}
+
+// ApplyCC configures opts for the selected congestion-control algorithm:
+// the NIC controller factory, the fabric-side sampler attachment (via
+// Options.CC), and the signal plumbing the algorithm's capability set
+// implies — CNP generation is switched off when the controller does not
+// consume CNPs, ACKs are densified for delay-based controllers, and,
+// when adjustMarking is set, ECN marking is disabled for algorithms that
+// consume neither CNPs nor ACK echoes (delay- and hint-based ones),
+// mirroring how the per-algorithm baselines configure their rigs.
+func ApplyCC(opts *Options, sel cc.Selection, adjustMarking bool) {
+	opts.NIC.Controller = sel.Factory()
+	opts.CC = &sel
+	caps := sel.Caps()
+	if caps&cc.CapCNP == 0 {
+		opts.NIC.NPEnabled = false
+	}
+	if caps&cc.CapRTT != 0 {
+		opts.NIC.Transport.AckEvery = 4 // denser RTT samples
+	}
+	if adjustMarking && caps&(cc.CapCNP|cc.CapAckECN) == 0 {
+		opts.Switch.Marking.KMin = 1 << 40 // ECN unused: delay/hint only
+		opts.Switch.Marking.KMax = 1 << 40
 	}
 }
 
@@ -343,9 +374,43 @@ func (n *Network) built() {
 		}
 		Sharder(n, n.opts.Shards)
 	}
+	n.attachCCSamplers()
 	if OnBuild != nil {
 		OnBuild(n)
 	}
+}
+
+// attachCCSamplers installs the selected algorithm's fabric-side
+// congestion point on every switch. Each sampler gets its own random
+// stream derived from the run seed and the switch index — NewStream is
+// pure, so the stream is identical whether or not the topology was
+// sharded, keeping sharded and sequential digests aligned.
+func (n *Network) attachCCSamplers() {
+	sel := n.opts.CC
+	if sel == nil || sel.Algorithm.Sampler == nil {
+		return
+	}
+	for i, name := range n.swOrder {
+		sw := n.Switches[name]
+		var local []packet.NodeID
+		for _, he := range n.attached[sw] {
+			local = append(local, he.host.ID)
+		}
+		seed := ccStreamSeed(n.msim.Seed(), n.opts.ECMPSeedBase, i)
+		ctx := cc.FabricContext{
+			Switch:     name,
+			LocalHosts: local,
+			Rand:       n.msim.NewStream(seed).Float64,
+		}
+		sw.Sampler = sel.Algorithm.Sampler(sel.Params, ctx)
+	}
+}
+
+// ccStreamSeed derives a per-switch sampler stream seed, kept disjoint
+// from the ECMP and marking stream derivations by its own mix constants.
+func ccStreamSeed(seed int64, ecmpBase uint64, swIdx int) int64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + ecmpBase*0x517cc1b727220a95 + uint64(swIdx+1)*0xff51afd7ed558ccd
+	return int64(h ^ 0xcc)
 }
 
 // NewStar builds hosts H1..Hn around a single switch SW — the rig of the

@@ -3,6 +3,7 @@ package dcqcn
 import (
 	"io"
 
+	"dcqcn/internal/cc"
 	"dcqcn/internal/core"
 	"dcqcn/internal/flightrec"
 	"dcqcn/internal/nic"
@@ -82,6 +83,21 @@ func (o Options) WithHostsPerToR(n int) Options {
 func (o Options) WithShards(n int) Options {
 	o.inner.Shards = n
 	return o
+}
+
+// WithCC selects a congestion-control algorithm from the internal/cc
+// registry by name ("dcqcn", "timely", "dctcp", "switch-assist",
+// "policy", ...; see the cc package) and wires every capability it
+// declares — CNP generation, ECN-echo ACK accounting, RTT echoes,
+// fabric occupancy hints — through the NICs and switches. It returns an
+// error for unknown names, listing the registered algorithms.
+func (o Options) WithCC(name string) (Options, error) {
+	sel, err := cc.Select(name, o.inner.NIC.LineRate)
+	if err != nil {
+		return o, err
+	}
+	topology.ApplyCC(&o.inner, sel, true)
+	return o, nil
 }
 
 // Network is a built, routed simulation: hosts, switches and the clock.
@@ -225,9 +241,11 @@ func (f *Flow) CurrentRate() Rate { return f.inner.CurrentRate() }
 func (f *Flow) Stats() FlowStats { return f.inner.Stats() }
 
 // ReactionPoint returns the flow's DCQCN RP for state inspection, or nil
-// when the flow runs another controller.
+// when the flow runs another controller. Controllers from the cc
+// registry are unwrapped, so the DCQCN algorithm exposes its RP whether
+// selected directly or by name.
 func (f *Flow) ReactionPoint() *RP {
-	rp, _ := f.inner.Controller().(*core.RP)
+	rp, _ := cc.Unwrap(f.inner.Controller()).(*core.RP)
 	return rp
 }
 
