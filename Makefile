@@ -25,10 +25,12 @@ vet:
 # Contract static analysis (internal/lint). Determinism family:
 # walltime, globalrand, maporder, floateq, simtime. Physics family:
 # noconc, eventpast, acctfield. Allocation family: hotalloc, hotdefer,
-# hotchain over //hot:path functions and the hot packages. Suppressions
-# live in lint.json; the second step diffs the compiler's actual escape
-# decisions for the hot packages against escape.golden, so a new heap
-# escape fails the gate even if no AST pattern caught it.
+# hotchain over //hot:path functions and the hot packages.
+# Interprocedural contracts family: ccability, hookpassive, streamshard
+# over one shared call-graph summary (internal/lint/callgraph).
+# Suppressions live in lint.json; the second step diffs the compiler's
+# actual escape decisions for the hot packages against escape.golden,
+# so a new heap escape fails the gate even if no AST pattern caught it.
 lint:
 	$(GO) run ./cmd/dcqcn-lint $(PKGS)
 	$(GO) run ./cmd/dcqcn-lint -escape

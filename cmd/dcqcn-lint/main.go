@@ -1,13 +1,15 @@
 // Command dcqcn-lint is the determinism- and physics-contract
 // multichecker: it runs the internal/lint analyzers (walltime,
 // globalrand, maporder, floateq, simtime, noconc, eventpast, acctfield,
-// hotalloc, hotdefer, hotchain) over the requested packages and exits
-// non-zero on findings. `make lint` wires it into `make check`, so
-// contract violations fail before any simulation runs.
+// hotalloc, hotdefer, hotchain, ccability, hookpassive, streamshard)
+// over the requested packages and exits non-zero on findings. `make
+// lint` wires it into `make check`, so contract violations fail before
+// any simulation runs. The interprocedural analyzers share one
+// call-graph summary per invocation (internal/lint/callgraph).
 //
 // Usage:
 //
-//	dcqcn-lint [-json] [-config file] [-analyzers a,b] [packages...]
+//	dcqcn-lint [-json|-sarif] [-config file] [-analyzers a,b] [packages...]
 //	dcqcn-lint -escape [-update] [-escape-golden file]
 //
 // Packages default to ./... . The optional config file holds
@@ -51,6 +53,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("dcqcn-lint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log (for code-scanning upload) instead of text")
 	configPath := fs.String("config", "", "suppression config file (JSON); default: lint.json beside go.mod if present")
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	escapeMode := fs.Bool("escape", false, "audit compiler escape decisions in //hot:path functions against the golden")
@@ -68,6 +71,10 @@ func run(args []string) int {
 		return 2
 	}
 
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "dcqcn-lint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 	if *escapeMode {
 		return runEscape(*escapeGolden, *escapeUpdate)
 	}
@@ -104,7 +111,17 @@ func run(args []string) int {
 		return 2
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		root, err := os.Getwd()
+		if err != nil {
+			root = ""
+		}
+		if err := lint.WriteSARIF(os.Stdout, root, analyzers, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -114,7 +131,7 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "dcqcn-lint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
@@ -124,7 +141,7 @@ func run(args []string) int {
 			s.Analyzer, s.Package, s.Reason)
 	}
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "dcqcn-lint: %d finding(s)\n", len(findings))
 		}
 		return 1

@@ -267,6 +267,7 @@ func main() {
 	}
 
 	if multi {
+		cmp.Canonicalize()
 		fmt.Printf("\n=== head-to-head (%d algorithms, mean over seeds)\n%s", len(cmp.Algorithms), cmp.Table())
 		if *out != "" {
 			if err := harness.WriteCCComparison(*out, cmp); err != nil {

@@ -44,7 +44,7 @@ func newDCQCN(p Params, clock core.Clock) Controller {
 // FixedParams configures the trivial always-at-rate controller.
 type FixedParams struct {
 	// Rate is the constant send rate.
-	Rate simtime.Rate
+	Rate simtime.Rate `json:"Rate"`
 }
 
 // Validate reports the first configuration error, or nil.
@@ -70,10 +70,10 @@ func (c fixedController) Unwrap() rocev2.RateController { return c.FixedRate }
 // attached to every switch (CP), Gd converts quantized feedback into cut
 // fractions.
 type QCNParams struct {
-	RP core.Params
-	CP qcn.CPConfig
+	RP core.Params  `json:"RP"`
+	CP qcn.CPConfig `json:"CP"`
 	// Gd is the feedback gain; the standard picks Gd·Fb_max = 1/2.
-	Gd float64
+	Gd float64 `json:"Gd"`
 }
 
 // Validate reports the first configuration error, or nil.

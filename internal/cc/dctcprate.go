@@ -20,14 +20,15 @@ import (
 // DCTCPParams configures the DCTCP-style ECN-fraction controller.
 type DCTCPParams struct {
 	// G is the EWMA gain of the alpha update (DCTCP paper: 1/16).
-	G float64
+	G float64 `json:"G"`
 	// WindowBytes is the payload budget per control decision — the
 	// rate-based stand-in for one congestion window / RTT of data.
-	WindowBytes int64
+	WindowBytes int64 `json:"WindowBytes"`
 	// RAI is the additive increase applied per unmarked window.
-	RAI simtime.Rate
+	RAI simtime.Rate `json:"RAI"`
 	// MinRate and LineRate bound the rate.
-	MinRate, LineRate simtime.Rate
+	MinRate  simtime.Rate `json:"MinRate"`
+	LineRate simtime.Rate `json:"LineRate"`
 }
 
 // Validate reports the first configuration error, or nil.

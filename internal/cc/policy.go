@@ -143,7 +143,11 @@ func (c *Policy) OnBytesSent(int64) {}
 // Stop is a no-op (no timers).
 func (c *Policy) Stop() {}
 
-// Capabilities is derived from the rule table at construction.
+// Capabilities is derived from the rule table at construction: only
+// the signals the loaded rules actually reference are declared, so the
+// NIC skips dispatch work for unused ones.
+//
+//cg:allow caps is computed by NewPolicy from the rule table, and PolicyParams.Validate rejects rules naming any signal outside the set (cnp, ecn_fraction, rtt_us, hint_queue_kb) whose reactors Policy implements, so a declared bit always has its reactor
 func (c *Policy) Capabilities() Capability { return c.caps }
 
 // SetRateListener registers the NIC's pacing re-arm hook.

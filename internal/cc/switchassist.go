@@ -28,17 +28,19 @@ type SwitchAssistParams struct {
 	// RP supplies DCQCN's recovery machinery (timers, byte counter,
 	// increase steps, rate bounds). Its marking/NP fields are unused: the
 	// algorithm replaces ECN marking with explicit hints.
-	RP core.Params
+	RP core.Params `json:"RP"`
 	// QMin is the egress occupancy at which hinting starts; below it the
 	// fabric is silent. QMax is the occupancy mapped to MaxCut; between
 	// them the cut fraction interpolates linearly.
-	QMin, QMax int64
+	QMin int64 `json:"QMin"`
+	QMax int64 `json:"QMax"`
 	// MinCut and MaxCut bound the per-hint multiplicative cut fraction.
-	MinCut, MaxCut float64
+	MinCut float64 `json:"MinCut"`
+	MaxCut float64 `json:"MaxCut"`
 	// HintBytes is the per-flow byte spacing between hints while the
 	// queue stays above QMin — the sampler's rate limiter, playing the
 	// role CNPInterval plays for DCQCN's NP.
-	HintBytes int64
+	HintBytes int64 `json:"HintBytes"`
 }
 
 // Validate reports the first configuration error, or nil.

@@ -26,52 +26,52 @@ type Params struct {
 	// --- CP (switch) marking: Fig. 5 ---
 
 	// KMin is the egress queue length at which RED/ECN marking begins.
-	KMin int64
+	KMin int64 `json:"KMin"`
 	// KMax is the egress queue length at which the marking probability
 	// reaches PMax; beyond it every packet is marked. Setting KMax == KMin
 	// yields DCTCP-like cut-off marking.
-	KMax int64
+	KMax int64 `json:"KMax"`
 	// PMax is the marking probability at KMax (0..1].
-	PMax float64
+	PMax float64 `json:"PMax"`
 
 	// --- NP (receiver): Fig. 6 ---
 
 	// CNPInterval (N in the paper) is the minimum spacing between CNPs
 	// generated for one flow. The paper fixes it at 50 µs, a ConnectX-3
 	// firmware constraint.
-	CNPInterval simtime.Duration
+	CNPInterval simtime.Duration `json:"CNPInterval"`
 
 	// --- RP (sender): Fig. 7, Eqs. (1)-(4) ---
 
 	// G is the EWMA gain g of the alpha update (Eq. 1/2). Paper: 1/256.
-	G float64
+	G float64 `json:"G"`
 	// AlphaTimer (K in the paper) is the interval after which, absent
 	// CNPs, alpha decays by Eq. (2). Must exceed CNPInterval. Paper: 55 µs.
-	AlphaTimer simtime.Duration
+	AlphaTimer simtime.Duration `json:"AlphaTimer"`
 	// RateTimer (T) is the period of the time-based rate-increase events.
 	// Paper: 55 µs after tuning (1.5 ms in the QCN strawman).
-	RateTimer simtime.Duration
+	RateTimer simtime.Duration `json:"RateTimer"`
 	// ByteCounter (B) is the byte budget per byte-counter rate-increase
 	// event. Paper: 10 MB after tuning (150 KB in the QCN strawman).
-	ByteCounter int64
+	ByteCounter int64 `json:"ByteCounter"`
 	// F is the number of fast-recovery stages before additive increase.
 	// Fixed at 5 in the paper.
-	F int
+	F int `json:"F"`
 	// RAI is the additive-increase step. Fixed at 40 Mb/s in the paper.
-	RAI simtime.Rate
+	RAI simtime.Rate `json:"RAI"`
 	// RHAI is the hyper-increase step applied per stage beyond F when
 	// both timer and byte counter have passed F (QCN's HAI phase).
-	RHAI simtime.Rate
+	RHAI simtime.Rate `json:"RHAI"`
 	// MinRate is the floor of the per-flow rate limiter, modelling the
 	// minimum rate the NIC hardware can enforce.
-	MinRate simtime.Rate
+	MinRate simtime.Rate `json:"MinRate"`
 	// LineRate is the NIC port speed; flows start at LineRate (no slow
 	// start) and RC/RT never exceed it.
-	LineRate simtime.Rate
+	LineRate simtime.Rate `json:"LineRate"`
 	// ClampTargetRate mirrors the hardware knob that resets RT to RC on
 	// each cut (rather than leaving RT at the pre-cut rate). The paper's
 	// Eq. (1) sets RT = RC before cutting, which is what false models.
-	ClampTargetRate bool
+	ClampTargetRate bool `json:"ClampTargetRate"`
 }
 
 // DefaultParams returns the production parameter set of the paper's

@@ -29,15 +29,27 @@ type CCAlgoResult struct {
 }
 
 // CCComparison is the cc_compare.json schema: the shared scenario list
-// plus per-algorithm results, in the order the algorithms were selected.
+// plus per-algorithm results, sorted by algorithm name — canonical
+// order, independent of how the `-cc` flag spelled the selection.
 type CCComparison struct {
 	SchemaVersion int            `json:"schema_version"`
 	Scenarios     []string       `json:"scenarios"`
 	Algorithms    []CCAlgoResult `json:"algorithms"`
 }
 
-// WriteCCComparison writes cc_compare.json into dir.
+// Canonicalize puts the per-algorithm results in canonical (name)
+// order, so the artifact and the printed table are byte-identical for
+// `-cc a,b` and `-cc b,a`.
+func (c *CCComparison) Canonicalize() {
+	sort.Slice(c.Algorithms, func(i, j int) bool {
+		return c.Algorithms[i].CC < c.Algorithms[j].CC
+	})
+}
+
+// WriteCCComparison writes cc_compare.json into dir, in canonical
+// algorithm order.
 func WriteCCComparison(dir string, cmp CCComparison) error {
+	cmp.Canonicalize()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}

@@ -318,3 +318,81 @@ func TestCombineDigests(t *testing.T) {
 		t.Fatal("combine must be deterministic")
 	}
 }
+
+// TestCCComparisonCanonicalOrder pins the cc_compare.json algorithm
+// order: WriteCCComparison sorts by algorithm name, so `-cc a,b` and
+// `-cc b,a` produce byte-identical artifacts and head-to-head tables.
+func TestCCComparisonCanonicalOrder(t *testing.T) {
+	mk := func(names ...string) CCComparison {
+		cmp := CCComparison{SchemaVersion: 1, Scenarios: []string{"synthetic"}}
+		for _, n := range names {
+			cmp.Algorithms = append(cmp.Algorithms, CCAlgoResult{
+				CC:     n,
+				Params: json.RawMessage(`{}`),
+				Summaries: []PointSummary{{
+					Scenario: "synthetic", Point: "load=10",
+					Metrics: map[string]MetricSummary{"sum": {N: 1, Mean: 1}},
+				}},
+			})
+		}
+		return cmp
+	}
+
+	read := func(dir string) []string {
+		data, err := os.ReadFile(filepath.Join(dir, CCCompareFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got CCComparison
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, len(got.Algorithms))
+		for i, a := range got.Algorithms {
+			names[i] = a.CC
+		}
+		return names
+	}
+
+	dir := t.TempDir()
+	if err := WriteCCComparison(dir, mk("timely", "dcqcn", "qcn")); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(dir); !slicesEqual(got, []string{"dcqcn", "qcn", "timely"}) {
+		t.Errorf("algorithms not in canonical order: %v", got)
+	}
+
+	// Selection order must not leak: both spellings write the same bytes.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := WriteCCComparison(dirA, mk("qcn", "dcqcn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCCComparison(dirB, mk("dcqcn", "qcn")); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(filepath.Join(dirA, CCCompareFile))
+	b, _ := os.ReadFile(filepath.Join(dirB, CCCompareFile))
+	if !bytes.Equal(a, b) {
+		t.Error("cc_compare.json depends on -cc selection order")
+	}
+
+	// The printed table's columns follow the same canonical order.
+	cmp := mk("qcn", "dcqcn")
+	cmp.Canonicalize()
+	table := cmp.Table()
+	if di, qi := strings.Index(table, "dcqcn"), strings.Index(table, "qcn"); di < 0 || qi < 0 || di > qi {
+		t.Errorf("table columns not in canonical order:\n%s", table)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -39,6 +39,14 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Graph optionally carries the interprocedural call-graph summary
+	// the driver built over every package in the run (a
+	// *callgraph.Graph; typed any to keep this package's x/tools-shaped
+	// surface dependency-free). Analyzers that consult summaries
+	// type-assert it; nil means the driver ran intraprocedural-only and
+	// the analyzer builds a single-package graph itself.
+	Graph any
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/callgraph"
 	"dcqcn/internal/lint/load"
 )
 
@@ -41,8 +42,19 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	// Mirror the driver: one interprocedural summary graph over the
+	// whole fixture batch, shared by each per-package pass (and cached
+	// across Run calls that load the same batch).
+	units := make([]*callgraph.Unit, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = &callgraph.Unit{Files: p.Files, Pkg: p.Types, Info: p.Info}
+	}
+	var graph any
+	if len(pkgs) > 0 {
+		graph = callgraph.For(callgraph.DefaultConfig(), pkgs[0].Fset, units)
+	}
 	for _, pkg := range pkgs {
-		checkPackage(t, a, pkg)
+		checkPackage(t, a, pkg, graph)
 	}
 }
 
@@ -53,7 +65,7 @@ type expectation struct {
 	matched bool
 }
 
-func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package, graph any) {
 	t.Helper()
 	wants, err := collectWants(pkg)
 	if err != nil {
@@ -67,6 +79,7 @@ func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Graph:     graph,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {

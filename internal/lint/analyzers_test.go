@@ -57,3 +57,17 @@ func TestHotdefer(t *testing.T) {
 func TestHotchain(t *testing.T) {
 	analysistest.Run(t, lint.Hotchain, "hotchain/a")
 }
+
+func TestCcability(t *testing.T) {
+	analysistest.Run(t, lint.Ccability, "ccability/cc")
+}
+
+func TestHookpassive(t *testing.T) {
+	analysistest.Run(t, lint.Hookpassive,
+		"hookpassive/model", "hookpassive/hooks", "hookpassive/engine")
+}
+
+func TestStreamshard(t *testing.T) {
+	analysistest.Run(t, lint.Streamshard,
+		"streamshard/model", "streamshard/harness", "streamshard/engine")
+}

@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// Ccability checks the congestion-control capability contract
+// (DESIGN.md §13/§14). A cc.Controller's Capabilities() bitmask is a
+// promise: the NIC discovers reactor interfaces once per flow and
+// dispatches only the signals the mask declares. A declared bit whose
+// reactor interface the concrete type does not implement means the NIC
+// silently drops that signal forever; an implemented reactor whose bit
+// the mask omits is dead code the NIC never calls. Both directions are
+// checked statically against the four optional reactor pairs
+// (CapAckECN/AckReactor, CapRTT/RTTReactor, CapQCN/QCNReactor,
+// CapHint/HintReactor). A Capabilities method that does not return a
+// constant (the policy controller derives its mask from a rule table
+// at construction) cannot be checked and must carry a //cg:allow
+// waiver stating why the dynamic set is safe.
+//
+// The second half of the contract is parameter overlays: every
+// registered algorithm's param struct flows through ApplyParamsJSON
+// (-cc-params), which needs a stable JSON name per exported field.
+// The analyzer resolves each Register call's Defaults function to its
+// returned struct type and requires explicit json tags on every
+// exported field, recursively through nested parameter structs.
+var Ccability = &analysis.Analyzer{
+	Name: "ccability",
+	Doc: "a Controller's Capabilities() bitmask must exactly match the reactor interfaces its type implements, " +
+		"and every registered param struct field needs a json tag for ApplyParamsJSON",
+	Run: runCcability,
+}
+
+// reactorSpecs pairs each optional capability bit with its reactor
+// interface and method. CapCNP and CapBytesSent are not listed: OnCNP
+// and OnBytesSent live on the base rocev2.RateController interface
+// every Controller embeds, so their bits configure the fabric, not the
+// NIC's dispatch table.
+var reactorSpecs = []struct {
+	capName, iface, method, signal string
+}{
+	{"CapAckECN", "AckReactor", "OnAck", "per-ACK ECN-echo"},
+	{"CapRTT", "RTTReactor", "OnRTT", "RTT"},
+	{"CapQCN", "QCNReactor", "OnQCNFeedback", "QCN feedback"},
+	{"CapHint", "HintReactor", "OnSwitchHint", "switch-hint"},
+}
+
+func runCcability(pass *analysis.Pass) error {
+	scope := pass.Pkg.Scope()
+	ctrl := lookupInterface(scope, "Controller")
+	if ctrl == nil || scope.Lookup("Capability") == nil {
+		return nil // not a capability-declaring package
+	}
+	checkCapabilityMasks(pass, scope, ctrl)
+	checkRegisteredParams(pass)
+	return nil
+}
+
+// lookupInterface resolves a package-scope interface type by name.
+func lookupInterface(scope *types.Scope, name string) *types.Interface {
+	tn, ok := scope.Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := tn.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// checkCapabilityMasks verifies declared-vs-implemented for every
+// concrete Controller type in the package.
+func checkCapabilityMasks(pass *analysis.Pass, scope *types.Scope, ctrl *types.Interface) {
+	// Resolve the reactor pairs the package declares.
+	type spec struct {
+		bit                                int64
+		iface                              *types.Interface
+		capName, ifaceName, method, signal string
+	}
+	var specs []spec
+	for _, rs := range reactorSpecs {
+		c, ok := scope.Lookup(rs.capName).(*types.Const)
+		if !ok {
+			continue
+		}
+		bit, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		iface := lookupInterface(scope, rs.iface)
+		if iface == nil {
+			continue
+		}
+		specs = append(specs, spec{bit, iface, rs.capName, rs.iface, rs.method, rs.signal})
+	}
+	if len(specs) == 0 {
+		return
+	}
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, ctrl) && !types.Implements(ptr, ctrl) {
+			continue
+		}
+		capsDecl := capabilitiesDecl(pass, named)
+		if capsDecl == nil {
+			continue // Capabilities comes from an embedded type declared elsewhere
+		}
+		file := fileFor(pass, capsDecl.Pos())
+		mask, constant := constantReturn(pass, capsDecl)
+		if !constant {
+			cgReport(pass, file, capsDecl,
+				"%s.Capabilities() does not return a constant: the declared signal set cannot be checked against the reactor interfaces %s implements; make it constant or waive with %s <reason>",
+				named.Obj().Name(), named.Obj().Name(), cgAllowDirective)
+			continue
+		}
+		for _, sp := range specs {
+			declared := mask&sp.bit != 0
+			implemented := types.Implements(named, sp.iface) || types.Implements(ptr, sp.iface)
+			switch {
+			case declared && !implemented:
+				cgReport(pass, file, capsDecl,
+					"%s declares %s but does not implement %s (missing method %s): the NIC silently drops every %s signal",
+					named.Obj().Name(), sp.capName, sp.ifaceName, sp.method, sp.signal)
+			case implemented && !declared:
+				cgReport(pass, file, capsDecl,
+					"%s implements %s (%s) but Capabilities() omits %s: the NIC never dispatches %s signals to it (dead code)",
+					named.Obj().Name(), sp.ifaceName, sp.method, sp.capName, sp.signal)
+			}
+		}
+	}
+}
+
+// capabilitiesDecl finds the FuncDecl of named's Capabilities method
+// within this package's files, or nil.
+func capabilitiesDecl(pass *analysis.Pass, named *types.Named) *ast.FuncDecl {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), "Capabilities")
+	m, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if def, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && def == m {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// constantReturn extracts the constant value of a single-return-
+// statement method body (`return CapCNP | CapBytesSent`).
+func constantReturn(pass *analysis.Pass, fd *ast.FuncDecl) (int64, bool) {
+	if len(fd.Body.List) != 1 {
+		return 0, false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[ret.Results[0]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return v, ok
+}
+
+// checkRegisteredParams verifies json-tag completeness of every param
+// struct reachable from a Register(Algorithm{...}) call's Defaults
+// function.
+func checkRegisteredParams(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "Register" {
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); !ok || fn.Pkg() != pass.Pkg {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			algoName, defaults := algorithmFields(lit)
+			if defaults == nil {
+				return true
+			}
+			for _, st := range paramStructs(pass, defaults) {
+				visited := map[*types.Named]bool{}
+				checkJSONTags(pass, file, call, algoName, st, visited)
+			}
+			return true
+		})
+	}
+}
+
+// algorithmFields extracts the Name literal and Defaults expression
+// from an Algorithm composite literal.
+func algorithmFields(lit *ast.CompositeLit) (name string, defaults ast.Expr) {
+	name = "?"
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			if bl, ok := kv.Value.(*ast.BasicLit); ok {
+				name = strings.Trim(bl.Value, `"`)
+			}
+		case "Defaults":
+			defaults = kv.Value
+		}
+	}
+	return name, defaults
+}
+
+// paramStructs resolves a Defaults expression (func literal or named
+// function in this package) to the named struct types its return
+// statements produce, through one pointer dereference.
+func paramStructs(pass *analysis.Pass, defaults ast.Expr) []*types.Named {
+	var body *ast.BlockStmt
+	switch x := ast.Unparen(defaults).(type) {
+	case *ast.FuncLit:
+		body = x.Body
+	case *ast.Ident:
+		fn, ok := pass.TypesInfo.Uses[x].(*types.Func)
+		if !ok {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if def, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && def == fn {
+						body = fd.Body
+					}
+				}
+			}
+		}
+	}
+	if body == nil {
+		return nil
+	}
+	var out []*types.Named
+	seen := map[*types.Named]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(ret.Results[0])
+		if t == nil {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && !seen[named] {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				seen[named] = true
+				out = append(out, named)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkJSONTags requires an explicit json tag on every exported field
+// of the param struct, recursing into nested named structs (QCNParams
+// embeds core.Params and qcn.CPConfig by field). Struct tags survive
+// export data, so cross-package param structs are checked too.
+func checkJSONTags(pass *analysis.Pass, file *ast.File, at ast.Node, algo string, named *types.Named, visited map[*types.Named]bool) {
+	if visited[named] {
+		return
+	}
+	visited[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // json cannot reach it; overlays cannot either
+		}
+		if _, ok := reflect.StructTag(st.Tag(i)).Lookup("json"); !ok {
+			cgReport(pass, file, at,
+				"algorithm %q: param struct %s field %s has no json tag: ApplyParamsJSON (-cc-params) needs a stable overlay name for every exported field",
+				algo, named.Obj().Name(), f.Name())
+		}
+		ft := f.Type()
+		if p, ok := ft.Underlying().(*types.Pointer); ok {
+			ft = p.Elem()
+		}
+		if sub, ok := ft.(*types.Named); ok {
+			if _, isStruct := sub.Underlying().(*types.Struct); isStruct {
+				checkJSONTags(pass, file, at, algo, sub, visited)
+			}
+		}
+	}
+}

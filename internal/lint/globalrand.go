@@ -5,6 +5,7 @@ import (
 	"go/types"
 
 	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/callgraph"
 )
 
 // Globalrand forbids the process-global math/rand source in model
@@ -29,28 +30,30 @@ var randConstructorHosts = map[string]bool{
 	"NewStream": true,
 }
 
-// randPackages are the import paths whose package-level state is banned.
-var randPackages = map[string]bool{
-	"math/rand":    true,
-	"math/rand/v2": true,
-}
-
 func runGlobalrand(pass *analysis.Pass) error {
 	if ExemptFromModelRules(pass.Pkg.Path()) {
 		return nil
 	}
+	graph := graphFor(pass)
 	for _, f := range pass.Files {
+		file := f
 		for _, decl := range f.Decls {
 			fn, _ := decl.(*ast.FuncDecl)
 			inEngineNew := fn != nil && randConstructorHosts[fn.Name.Name] &&
 				pass.Pkg.Name() == "engine"
 			ast.Inspect(decl, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					// Interprocedural half: a helper in an exempt package
+					// drawing from the global source on model code's behalf.
+					checkLaunderedEffect(pass, graph, file, call, callgraph.ReadsGlobalRand,
+						"model randomness must come from engine.Sim.Rand() or an injected *rand.Rand")
+				}
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
 					return true
 				}
 				pn := pkgNameOf(pass.TypesInfo, sel.X)
-				if pn == nil || !randPackages[pn.Imported().Path()] {
+				if pn == nil || !callgraph.RandPackages[pn.Imported().Path()] {
 					return true
 				}
 				obj := pass.TypesInfo.Uses[sel.Sel]
@@ -64,18 +67,17 @@ func runGlobalrand(pass *analysis.Pass) error {
 					return true
 				}
 				name := sel.Sel.Name
-				if (name == "New" || name == "NewSource" || name == "NewPCG" || name == "NewChaCha8") && inEngineNew {
+				if callgraph.RandConstructors[name] {
+					if !inEngineNew {
+						pass.Reportf(sel.Pos(),
+							"rand.%s outside engine.New/NewStream: simulations must get sources from the engine (Sim.Rand, Sim.NewStream), not construct their own",
+							name)
+					}
 					return true
 				}
-				if name == "New" || name == "NewSource" || name == "NewPCG" || name == "NewChaCha8" {
-					pass.Reportf(sel.Pos(),
-						"rand.%s outside engine.New/NewStream: simulations must get sources from the engine (Sim.Rand, Sim.NewStream), not construct their own",
-						name)
-				} else {
-					pass.Reportf(sel.Pos(),
-						"package-level rand.%s uses the process-global source: draw from engine.Sim.Rand() or an injected *rand.Rand instead",
-						name)
-				}
+				pass.Reportf(sel.Pos(),
+					"package-level rand.%s uses the process-global source: draw from engine.Sim.Rand() or an injected *rand.Rand instead",
+					name)
 				return true
 			})
 		}

@@ -35,13 +35,16 @@ import (
 // All returns every contract analyzer, in stable order: the
 // determinism family (walltime, globalrand, maporder, floateq,
 // simtime), the physics/concurrency family (noconc, eventpast,
-// acctfield — see DESIGN.md §9), and the hot-path allocation family
-// (hotalloc, hotdefer, hotchain — see DESIGN.md §12).
+// acctfield — see DESIGN.md §9), the hot-path allocation family
+// (hotalloc, hotdefer, hotchain — see DESIGN.md §12), and the
+// interprocedural contract family (ccability, hookpassive,
+// streamshard — see DESIGN.md §14).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Walltime, Globalrand, Maporder, Floateq, Simtime,
 		Noconc, Eventpast, Acctfield,
 		Hotalloc, Hotdefer, Hotchain,
+		Ccability, Hookpassive, Streamshard,
 	}
 }
 

@@ -17,6 +17,7 @@ func TestAllStableOrder(t *testing.T) {
 		"walltime", "globalrand", "maporder", "floateq", "simtime",
 		"noconc", "eventpast", "acctfield",
 		"hotalloc", "hotdefer", "hotchain",
+		"ccability", "hookpassive", "streamshard",
 	}
 	all := lint.All()
 	if len(all) != len(want) {
@@ -29,6 +30,49 @@ func TestAllStableOrder(t *testing.T) {
 		if a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %q missing doc or run", a.Name)
 		}
+	}
+}
+
+// TestFixtureCoverage fails when an analyzer in All() has no fixture
+// directory under testdata/src — every analyzer must ship at least one
+// flagged and one blessed case, and an empty fixture dir cannot hold
+// either. The simtime analyzer's fixture lives under "simtimecheck"
+// (the bare name would collide with the real simtime package on the
+// fixture GOPATH), hence the name+"check" fallback.
+func TestFixtureCoverage(t *testing.T) {
+	for _, a := range lint.All() {
+		found := false
+		for _, dir := range []string{a.Name, a.Name + "check"} {
+			st, err := os.Stat(filepath.Join("testdata", "src", dir))
+			if err == nil && st.IsDir() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("analyzer %q has no fixture directory testdata/src/%s (or %scheck)",
+				a.Name, a.Name, a.Name)
+		}
+	}
+}
+
+// TestCcabilityNamesMissingMethod pins the shape of the capability
+// mismatch diagnostic: it must name the exact reactor method the
+// controller fails to implement, so the finding is actionable without
+// opening the interface definition.
+func TestCcabilityNamesMissingMethod(t *testing.T) {
+	findings := runOn(t, nil, []*analysis.Analyzer{lint.Ccability}, "./testdata/src/ccability/cc")
+	var ghost []string
+	for _, f := range findings {
+		if strings.Contains(f.Message, "Ghost declares CapRTT") {
+			ghost = append(ghost, f.Message)
+		}
+	}
+	if len(ghost) != 1 {
+		t.Fatalf("want exactly one Ghost capability finding, got %d: %v", len(ghost), ghost)
+	}
+	if !strings.Contains(ghost[0], "missing method OnRTT") {
+		t.Errorf("Ghost diagnostic does not name the missing reactor method OnRTT: %s", ghost[0])
 	}
 }
 
@@ -251,6 +295,79 @@ func TestFindingJSONShape(t *testing.T) {
 	}
 	if m["analyzer"] != "hotalloc" {
 		t.Errorf("analyzer = %v, want hotalloc", m["analyzer"])
+	}
+}
+
+// TestWriteSARIF pins the SARIF 2.1.0 wire shape code scanning
+// consumes: version, tool name, one rule per analyzer, and per-result
+// ruleId, level, message and repository-relative location.
+func TestWriteSARIF(t *testing.T) {
+	findings := runOn(t, nil, []*analysis.Analyzer{lint.Hotalloc}, "./testdata/src/hotalloc/a")
+	if len(findings) == 0 {
+		t.Fatal("no hotalloc findings to render")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := lint.WriteSARIF(&buf, cwd, lint.All(), findings); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dcqcn-lint" {
+		t.Errorf("tool name %q, want dcqcn-lint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(lint.All()) {
+		t.Errorf("%d rules, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(lint.All()))
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("%d results, want %d", len(run.Results), len(findings))
+	}
+	r := run.Results[0]
+	if r.RuleID != "hotalloc" || r.Level != "error" || r.Message.Text == "" {
+		t.Errorf("result shape wrong: %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if strings.HasPrefix(loc.ArtifactLocation.URI, "/") || strings.Contains(loc.ArtifactLocation.URI, `\`) {
+		t.Errorf("location URI %q is not repository-relative slash form", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine <= 0 {
+		t.Errorf("startLine %d, want positive", loc.Region.StartLine)
 	}
 }
 

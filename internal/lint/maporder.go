@@ -7,6 +7,7 @@ import (
 	"go/types"
 
 	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/callgraph"
 )
 
 // Maporder flags `range` over a map whose body is sensitive to
@@ -38,6 +39,12 @@ var Maporder = &analysis.Analyzer{
 }
 
 func runMaporder(pass *analysis.Pass) error {
+	// The interprocedural check only judges model packages: harness and
+	// cmd code schedules nothing and its summaries would be pure noise.
+	var graph *callgraph.Graph
+	if !ExemptFromModelRules(pass.Pkg.Path()) {
+		graph = graphFor(pass)
+	}
 	for _, f := range pass.Files {
 		file := f
 		parents := buildParents(f)
@@ -59,7 +66,7 @@ func runMaporder(pass *analysis.Pass) error {
 				}
 				return true
 			}
-			viols := orderSensitiveOps(pass.TypesInfo, rs)
+			viols := orderSensitiveOps(pass.TypesInfo, graph, rs)
 			if len(viols) == 0 {
 				return true
 			}
@@ -87,7 +94,7 @@ type violation struct {
 
 // orderSensitiveOps scans the body of a map range and returns every
 // operation whose outcome depends on iteration order.
-func orderSensitiveOps(info *types.Info, rs *ast.RangeStmt) []violation {
+func orderSensitiveOps(info *types.Info, graph *callgraph.Graph, rs *ast.RangeStmt) []violation {
 	var viols []violation
 	report := func(v violation) { viols = append(viols, v) }
 
@@ -129,7 +136,7 @@ func orderSensitiveOps(info *types.Info, rs *ast.RangeStmt) []violation {
 				})
 			}
 		case *ast.CallExpr:
-			checkCall(info, st, outer, report)
+			checkCall(info, graph, st, outer, report)
 		}
 		return true
 	})
@@ -212,22 +219,24 @@ func appendTarget(info *types.Info, lhs *types.Var, rhs ast.Expr) (*types.Var, b
 // checkCall flags calls that can smuggle iteration order into outer
 // state: method calls on receivers declared outside the loop (event
 // scheduling, collectors, builders) and calls through function-valued
-// variables captured from outside. Calls to declared functions are
-// allowed: the contract treats plain functions of the loop variables as
-// order-free, and any outer state they touch is caught at its own
-// range site.
-func checkCall(info *types.Info, call *ast.CallExpr,
+// variables captured from outside. Calls to declared functions used to
+// be allowed unconditionally; with the call-graph summaries (in model
+// packages) a declared function is allowed only when it transitively
+// neither schedules events, writes //acct: counters, nor mutates model
+// state — the ways a plain function of the loop variables can still
+// leak iteration order into the run.
+func checkCall(info *types.Info, graph *callgraph.Graph, call *ast.CallExpr,
 	outer func(ast.Expr) (*types.Var, bool), report func(violation)) {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
-		if _, ok := info.Selections[fun]; !ok {
-			return // package-qualified call, not a selection on a value
-		}
-		if obj, isOuter := outer(fun.X); isOuter {
-			report(violation{
-				msg: fmt.Sprintf("a call to %s.%s on state declared outside the loop", obj.Name(), fun.Sel.Name),
-				pos: call.Pos(),
-			})
+		if _, ok := info.Selections[fun]; ok {
+			if obj, isOuter := outer(fun.X); isOuter {
+				report(violation{
+					msg: fmt.Sprintf("a call to %s.%s on state declared outside the loop", obj.Name(), fun.Sel.Name),
+					pos: call.Pos(),
+				})
+				return
+			}
 		}
 	case *ast.Ident:
 		if _, ok := info.Uses[fun].(*types.Var); ok {
@@ -236,9 +245,37 @@ func checkCall(info *types.Info, call *ast.CallExpr,
 					msg: fmt.Sprintf("a call through function value %q declared outside the loop", obj.Name()),
 					pos: call.Pos(),
 				})
+				return
 			}
 		}
 	}
+	checkEffectfulCallee(info, graph, call, report)
+}
+
+// mapOrderEffects are the transitive effects that make a declared
+// function order-sensitive inside a map range.
+const mapOrderEffects = callgraph.SchedulesEvent | callgraph.WritesAcctField | callgraph.WritesModelState
+
+// checkEffectfulCallee consults the call-graph summary of a statically
+// resolved callee.
+func checkEffectfulCallee(info *types.Info, graph *callgraph.Graph, call *ast.CallExpr, report func(violation)) {
+	if graph == nil {
+		return
+	}
+	node := graph.ResolveFunc(info, call.Fun)
+	if node == nil {
+		return
+	}
+	eff := node.Effects() & mapOrderEffects
+	if eff == 0 {
+		return
+	}
+	first := eff & -eff // lowest set bit, the chain Describe renders
+	report(violation{
+		msg: fmt.Sprintf("a call to %s, which transitively %s (%s)",
+			node, first.Describe(), graph.Describe(node, first)),
+		pos: call.Pos(),
+	})
 }
 
 // commonAppendTarget returns the single outer slice all violations

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/callgraph"
 	"dcqcn/internal/lint/load"
 )
 
@@ -103,6 +104,13 @@ func RunWithStale(pkgs []*load.Package, analyzers []*analysis.Analyzer, cfg *Con
 	var findings []Finding
 	hits := make(map[string]int) // analyzer\x00pkg -> suppressed findings
 	judged := make(map[string]bool)
+	// One interprocedural summary graph per invocation, shared by every
+	// (package, analyzer) pass — the fixpoint is the expensive part and
+	// callgraph.For caches it across repeated driver calls in-process.
+	var graph any
+	if len(pkgs) > 0 {
+		graph = callgraph.For(ModelStateConfig(), pkgs[0].Fset, unitsOf(pkgs))
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			silence := cfg.suppressed(a.Name, pkg.PkgPath)
@@ -116,6 +124,7 @@ func RunWithStale(pkgs []*load.Package, analyzers []*analysis.Analyzer, cfg *Con
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Graph:     graph,
 			}
 			name, pkgPath := a.Name, pkg.PkgPath
 			pass.Report = func(d analysis.Diagnostic) {

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"dcqcn/internal/lint/analysis"
+)
+
+// SARIF 2.1.0 output (dcqcn-lint -sarif): the static-analysis results
+// interchange format GitHub code scanning ingests, so contract findings
+// annotate the PR diff instead of living only in a CI log. Only the
+// fields the consumers read are modelled; the schema reference is
+// https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the findings as a SARIF 2.1.0 log with one rule
+// per analyzer that ran (found something or not — the rule table
+// documents coverage, the results carry the findings). File URIs are
+// made relative to root when possible, with forward slashes, as code
+// scanning expects repository-relative paths.
+func WriteSARIF(w io.Writer, root string, analyzers []*analysis.Analyzer, findings []Finding) error {
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "dcqcn-lint"}},
+		Results: []sarifResult{}, // [] not null when clean
+	}
+	for _, a := range analyzers {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	for _, f := range findings {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: sarifURI(root, f.position.Filename)},
+				Region:           sarifRegion{StartLine: f.position.Line, StartColumn: f.position.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	})
+}
+
+// sarifURI relativizes filename against root and normalizes to
+// forward slashes; paths outside root pass through slash-normalized.
+func sarifURI(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/callgraph"
+)
+
+// Streamshard enforces RNG stream discipline (DESIGN.md §10/§14):
+// every random stream reaching model code must be a private
+// engine.Sim.NewStream derivation, and no single stream may be shared
+// across shard or worker closures — a *rand.Rand is a stateful cursor,
+// and two shards draining one cursor makes the draw sequence depend on
+// interleaving (or on shard count), which breaks digest stability
+// under -shards.
+//
+// Three checks:
+//
+//  1. Laundering: a model-package call site whose callee lives in an
+//     exempt package (cmd, harness) but transitively constructs a rand
+//     source. The per-package globalrand analyzer cannot see through
+//     the call; the call-graph summary can.
+//  2. Sharing: a function literal inside a loop that captures a
+//     *rand.Rand variable declared outside the loop. Each iteration's
+//     closure shares the same cursor — per-shard work must derive a
+//     per-shard stream (NewStream with a shard-salted seed) inside the
+//     loop instead.
+//  3. Ambient streams: a package-level *rand.Rand in model code. A
+//     stream not threaded from the Sim cannot be seed-derived per run
+//     and is shared by construction.
+var Streamshard = &analysis.Analyzer{
+	Name: "streamshard",
+	Doc: "rand streams in model code must derive from engine.Sim.NewStream and " +
+		"must not be shared across shard/worker closures",
+	Run: runStreamshard,
+}
+
+func runStreamshard(pass *analysis.Pass) error {
+	exempt := ExemptFromModelRules(pass.Pkg.Path())
+	graph := graphFor(pass)
+	for _, f := range pass.Files {
+		file := f
+		if !exempt {
+			checkLaunderedConstruction(pass, graph, file)
+			checkAmbientStreams(pass, file)
+		}
+		checkSharedStreams(pass, file)
+	}
+	return nil
+}
+
+// isRandStream reports whether t is *rand.Rand (math/rand or
+// math/rand/v2).
+func isRandStream(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && obj.Pkg().Name() == "rand"
+}
+
+// checkLaunderedConstruction flags model-package calls into exempt
+// packages whose transitive summary constructs a rand source
+// (same-package construction is globalrand's beat, and a model-package
+// callee is flagged at its own primitive site).
+func checkLaunderedConstruction(pass *analysis.Pass, graph *callgraph.Graph, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkLaunderedEffect(pass, graph, file, call, callgraph.ConstructsRand,
+				"derive streams with engine.Sim.NewStream instead")
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's static callee object, or nil.
+func calleeFunc(pass *analysis.Pass, fun ast.Expr) *types.Func {
+	switch x := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[x].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.TypesInfo.Uses[x.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// checkAmbientStreams flags package-level *rand.Rand variables.
+func checkAmbientStreams(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || !isRandStream(v.Type()) {
+					continue
+				}
+				cgReport(pass, file, name,
+					"package-level rand stream %s: model streams must be engine.Sim.NewStream derivations threaded per object, not ambient package state",
+					name.Name)
+			}
+		}
+	}
+}
+
+// checkSharedStreams flags function literals inside loops that capture
+// a *rand.Rand declared outside the loop: every iteration's closure
+// (one per shard/worker in the parallel runner) would drain the same
+// cursor. Struct fields and package-level streams are excluded — the
+// former belong to a per-shard object, the latter are check 3's beat.
+func checkSharedStreams(pass *analysis.Pass, file *ast.File) {
+	parents := buildParents(file)
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if loop := enclosingLoop(parents, lit); loop != nil {
+			reportCaptures(pass, file, loop, lit)
+		}
+		return true
+	})
+}
+
+// enclosingLoop returns the innermost for/range statement enclosing n,
+// climbing through nested function literals (a closure in a closure in
+// a loop still shares the captured cursor), or nil.
+func enclosingLoop(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return p
+		}
+	}
+	return nil
+}
+
+// reportCaptures flags rand-typed free variables of lit declared
+// outside loop.
+func reportCaptures(pass *analysis.Pass, file *ast.File, loop ast.Node, lit *ast.FuncLit) {
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || seen[v] || !isRandStream(v.Type()) {
+			return true
+		}
+		if v.IsField() {
+			return true // per-object stream; ownership is the object's problem
+		}
+		if v.Parent() == pass.Pkg.Scope() {
+			return true // ambient stream, check 3 reports the declaration
+		}
+		if declaredWithin(v, loop) {
+			return true // derived inside the loop: one stream per iteration
+		}
+		seen[v] = true
+		cgReport(pass, file, id,
+			"closure in loop captures rand stream %s declared outside the loop: each iteration shares one stateful cursor; derive a per-iteration stream with engine.Sim.NewStream inside the loop",
+			id.Name)
+		return true
+	})
+}

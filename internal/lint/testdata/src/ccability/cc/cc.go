@@ -1,0 +1,109 @@
+// Package cc mirrors the real congestion-control registry: a
+// Capability bitmask promising signals, optional reactor interfaces
+// delivering them, and a Register-based algorithm zoo whose param
+// structs are overlaid from JSON.
+package cc
+
+// Capability declares which feedback signals a controller consumes.
+type Capability uint32
+
+// Capability bits. CapCNP is part of the base surface and has no
+// optional reactor.
+const (
+	CapCNP Capability = 1 << iota
+	CapAckECN
+	CapRTT
+	CapQCN
+	CapHint
+)
+
+// Controller is the common algorithm surface.
+type Controller interface {
+	Capabilities() Capability
+}
+
+// AckReactor consumes per-ACK ECN-echo samples.
+type AckReactor interface{ OnAck(marked bool) }
+
+// RTTReactor consumes RTT samples.
+type RTTReactor interface{ OnRTT(us float64) }
+
+// QCNReactor consumes quantized congestion feedback.
+type QCNReactor interface{ OnQCNFeedback(fb float64) }
+
+// HintReactor consumes switch occupancy hints.
+type HintReactor interface{ OnSwitchHint(queueKB float64) }
+
+// Algorithm is one registry entry.
+type Algorithm struct {
+	Name     string
+	Defaults func() any
+}
+
+// Register adds an algorithm to the zoo.
+func Register(a Algorithm) {}
+
+// Good declares CapAckECN and implements OnAck: mask and methods agree.
+type Good struct{}
+
+func (g *Good) Capabilities() Capability { return CapCNP | CapAckECN }
+
+// OnAck consumes the sample.
+func (g *Good) OnAck(marked bool) {}
+
+// Ghost declares an RTT appetite its type cannot digest: the NIC would
+// accept the bit, find no reactor, and drop every RTT sample silently.
+type Ghost struct{}
+
+func (g *Ghost) Capabilities() Capability { return CapCNP | CapRTT } // want `Ghost declares CapRTT but does not implement RTTReactor \(missing method OnRTT\)`
+
+// Mute implements a reactor its mask never admits to: dead code the
+// NIC will never dispatch to.
+type Mute struct{}
+
+func (m *Mute) Capabilities() Capability { return CapCNP } // want `Mute implements QCNReactor \(OnQCNFeedback\) but Capabilities\(\) omits CapQCN`
+
+// OnQCNFeedback would consume feedback, were it ever declared.
+func (m *Mute) OnQCNFeedback(fb float64) {}
+
+// Dyn computes its mask at runtime, which the checker cannot verify.
+type Dyn struct{ caps Capability }
+
+func (d *Dyn) Capabilities() Capability { return d.caps } // want `Dyn\.Capabilities\(\) does not return a constant`
+
+// DynWaived is the same shape with a justified waiver.
+type DynWaived struct{ caps Capability }
+
+//cg:allow caps derives from the loaded rule table; validation restricts it to reactors this type implements
+func (d *DynWaived) Capabilities() Capability { return d.caps }
+
+// DynBare carries a waiver with no reason, which is itself an error.
+type DynBare struct{ caps Capability }
+
+//cg:allow
+func (d *DynBare) Capabilities() Capability { return d.caps } // want `//cg:allow directive without a reason`
+
+// GoodParams tags every exported field; unexported fields are
+// unreachable by JSON and exempt.
+type GoodParams struct {
+	Gain  float64 `json:"Gain"`
+	scale int
+}
+
+// BadParams lacks a json tag on an exported field.
+type BadParams struct {
+	Gain float64
+}
+
+// NestedParams is fully tagged itself but embeds the untagged struct.
+type NestedParams struct {
+	Inner BadParams `json:"Inner"`
+}
+
+func badDefaults() any { return &BadParams{Gain: 0.5} }
+
+func init() {
+	Register(Algorithm{Name: "good", Defaults: func() any { return &GoodParams{} }})
+	Register(Algorithm{Name: "bad", Defaults: badDefaults})                             // want `algorithm "bad": param struct BadParams field Gain has no json tag`
+	Register(Algorithm{Name: "nested", Defaults: func() any { return NestedParams{} }}) // want `algorithm "nested": param struct BadParams field Gain has no json tag`
+}

@@ -3,7 +3,11 @@
 // construct sources of its own.
 package model
 
-import "math/rand"
+import (
+	"math/rand"
+
+	harness "dcqcn/internal/lint/testdata/src/globalrand/harness"
+)
 
 // draw uses an injected source: the contract-conformant shape.
 func draw(rng *rand.Rand) int {
@@ -21,4 +25,10 @@ func global() {
 // engine and forks the randomness stream.
 func construct() *rand.Rand {
 	return rand.New(rand.NewSource(7)) // want `rand\.New outside` `rand\.NewSource outside`
+}
+
+// laundered draws global randomness through the exempt harness, which
+// the interprocedural summary flags at the call site.
+func laundered() float64 {
+	return harness.Jitter() // want `call into exempt package harness transitively draws from the process-global rand source`
 }

@@ -1,0 +1,25 @@
+// Package hooks mirrors the real chaining helpers: subscribers
+// composed through Chain* must stay passive.
+package hooks
+
+// Chain composes single-argument hook subscribers, earlier first.
+func Chain[T any](prev, next func(T)) func(T) {
+	if prev == nil {
+		return next
+	}
+	return func(v T) {
+		prev(v)
+		next(v)
+	}
+}
+
+// Chain2 is Chain for two-argument hooks.
+func Chain2[A, B any](prev, next func(A, B)) func(A, B) {
+	if prev == nil {
+		return next
+	}
+	return func(a A, b B) {
+		prev(a, b)
+		next(a, b)
+	}
+}

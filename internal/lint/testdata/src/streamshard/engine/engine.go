@@ -1,0 +1,14 @@
+// Package engine mirrors the real engine: NewStream is the sanctioned
+// rand-source constructor model code derives private streams from.
+package engine
+
+import "math/rand"
+
+// Sim is a stand-in simulator.
+type Sim struct{ seed int64 }
+
+// NewStream derives a deterministic per-purpose source from the run
+// seed.
+func (s *Sim) NewStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(s.seed ^ seed))
+}

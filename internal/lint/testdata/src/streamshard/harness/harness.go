@@ -1,0 +1,11 @@
+// Package harness is exempt from model rules: constructing throwaway
+// sources for orchestration jitter is legal here. Model code must not
+// launder sources out of it, which the streamshard fixture exercises.
+package harness
+
+import "math/rand"
+
+// Fresh builds a throwaway source for worker jitter.
+func Fresh(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,46 @@
+// Package model exercises the streamshard analyzer: every stream
+// reaching model code derives from engine.Sim.NewStream, and no one
+// stream may be shared across per-shard closures.
+package model
+
+import (
+	"math/rand"
+
+	engine "dcqcn/internal/lint/testdata/src/streamshard/engine"
+	harness "dcqcn/internal/lint/testdata/src/streamshard/harness"
+)
+
+// ambient is package-level: shared by construction, unseedable per run.
+var ambient *rand.Rand // want `package-level rand stream ambient`
+
+//cg:allow scratch source for the doc example below; never reaches a simulation
+var blessed *rand.Rand
+
+// launder pulls a constructed source out of the exempt harness, where
+// the per-package globalrand scan never looks.
+func launder() *rand.Rand {
+	return harness.Fresh(7) // want `call into exempt package harness transitively constructs a rand source`
+}
+
+// sharedAcrossShards captures one cursor in every shard closure: the
+// draw sequence then depends on shard interleaving.
+func sharedAcrossShards(sim *engine.Sim, run func(func())) {
+	rng := sim.NewStream(1)
+	for shard := 0; shard < 4; shard++ {
+		run(func() {
+			_ = rng.Int63() // want `closure in loop captures rand stream rng declared outside the loop`
+			_ = shard
+		})
+	}
+}
+
+// perShardStream derives one stream per shard: the sanctioned shape.
+func perShardStream(sim *engine.Sim, run func(func())) {
+	for shard := 0; shard < 4; shard++ {
+		rng := sim.NewStream(int64(shard))
+		run(func() { _ = rng.Int63() })
+	}
+}
+
+// passedStream consumes an injected stream outside any loop: fine.
+func passedStream(rng *rand.Rand) int64 { return rng.Int63() }

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 
 	"dcqcn/internal/lint/analysis"
+	"dcqcn/internal/lint/callgraph"
 )
 
 // Walltime forbids reading the wall clock in model packages. A
@@ -12,6 +13,14 @@ import (
 // engine digest would only catch after the fact; banning the calls
 // statically keeps the clock singular: simtime, advanced by the event
 // loop.
+//
+// Two scans: the direct one flags time.X selector uses in the package
+// itself; the interprocedural one flags model-package call sites whose
+// callee lives in an exempt package (cmd, harness — where direct use
+// is legal) yet transitively reads the clock, so exemption cannot be
+// laundered through a helper. The forbidden-function list is shared
+// with the call-graph builder (callgraph.WalltimeFuncs), so the two
+// scans can never drift apart.
 var Walltime = &analysis.Analyzer{
 	Name: "walltime",
 	Doc: "forbid wall-clock time (time.Now, time.Sleep, runtime timers) in model packages; " +
@@ -19,43 +28,54 @@ var Walltime = &analysis.Analyzer{
 	Run: runWalltime,
 }
 
-// walltimeForbidden lists the time-package functions that read or react
-// to the wall clock. Pure conversions and constructors of constants
-// (time.Duration arithmetic, time.Unix on stored data) are not listed:
-// they are deterministic.
-var walltimeForbidden = map[string]bool{
-	"Now":       true,
-	"Since":     true,
-	"Until":     true,
-	"Sleep":     true,
-	"After":     true,
-	"AfterFunc": true,
-	"Tick":      true,
-	"NewTicker": true,
-	"NewTimer":  true,
-}
-
 func runWalltime(pass *analysis.Pass) error {
 	if ExemptFromModelRules(pass.Pkg.Path()) {
 		return nil
 	}
+	graph := graphFor(pass)
 	for _, f := range pass.Files {
+		file := f
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			pn := pkgNameOf(pass.TypesInfo, sel.X)
-			if pn == nil || pn.Imported().Path() != "time" {
-				return true
-			}
-			if walltimeForbidden[sel.Sel.Name] {
-				pass.Reportf(sel.Pos(),
-					"wall-clock time.%s in model package %s: model code must use the simulated clock (engine.Sim.Now/After/Ticker)",
-					sel.Sel.Name, pass.Pkg.Path())
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				pn := pkgNameOf(pass.TypesInfo, x.X)
+				if pn == nil || pn.Imported().Path() != "time" {
+					return true
+				}
+				if callgraph.WalltimeFuncs[x.Sel.Name] {
+					pass.Reportf(x.Pos(),
+						"wall-clock time.%s in model package %s: model code must use the simulated clock (engine.Sim.Now/After/Ticker)",
+						x.Sel.Name, pass.Pkg.Path())
+				}
+			case *ast.CallExpr:
+				checkLaunderedEffect(pass, graph, file, x, callgraph.CallsWalltime,
+					"reads the wall clock; model code must use the simulated clock (engine.Sim.Now/After/Ticker)")
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkLaunderedEffect flags a model-package call whose callee lives in
+// an exempt package (where the per-package scan does not look) yet
+// transitively carries effect. Same-package and model-package callees
+// are skipped: the per-package scan of their own package flags the
+// primitive site directly.
+func checkLaunderedEffect(pass *analysis.Pass, graph *callgraph.Graph, file *ast.File,
+	call *ast.CallExpr, effect callgraph.Effect, consequence string) {
+	node := graph.ResolveFunc(pass.TypesInfo, call.Fun)
+	if node == nil || node.Effects()&effect == 0 {
+		return
+	}
+	callee := calleeFunc(pass, call.Fun)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.Pkg {
+		return
+	}
+	if !ExemptFromModelRules(callee.Pkg().Path()) {
+		return
+	}
+	cgReport(pass, file, call,
+		"call into exempt package %s transitively %s (%s); %s",
+		callee.Pkg().Name(), effect.Describe(), graph.Describe(node, effect), consequence)
 }

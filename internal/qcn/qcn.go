@@ -33,16 +33,16 @@ import (
 // scaled to a 40 Gb/s fabric).
 type CPConfig struct {
 	// QEq is the operating point the CP regulates the queue to.
-	QEq int64
+	QEq int64 `json:"QEq"`
 	// W weights the rate-of-change term q_delta.
-	W float64
+	W float64 `json:"W"`
 	// SampleEvery is the mean bytes between samples (the standard
 	// samples roughly every 150 KB, adapting with severity; we keep the
 	// fixed base and let severity scale the probability).
-	SampleEvery int64
+	SampleEvery int64 `json:"SampleEvery"`
 	// MaxFb is the quantization ceiling (6 bits: 63 in the standard,
 	// interpreted here relative to QEq).
-	MaxFb float64
+	MaxFb float64 `json:"MaxFb"`
 }
 
 // DefaultCPConfig returns 802.1Qau-style defaults.

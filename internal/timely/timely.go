@@ -32,20 +32,22 @@ import (
 type Params struct {
 	// EWMAAlpha smooths the RTT difference (paper: ~0.875 weight on
 	// history; this is the weight of the new sample).
-	EWMAAlpha float64
+	EWMAAlpha float64 `json:"EWMAAlpha"`
 	// TLow and THigh bracket the gradient-tracking band.
-	TLow, THigh simtime.Duration
+	TLow  simtime.Duration `json:"TLow"`
+	THigh simtime.Duration `json:"THigh"`
 	// MinRTT normalizes the gradient (the fabric's unloaded RTT).
-	MinRTT simtime.Duration
+	MinRTT simtime.Duration `json:"MinRTT"`
 	// AddStep is the additive increase per decision (paper: 10 Mb/s).
-	AddStep simtime.Rate
+	AddStep simtime.Rate `json:"AddStep"`
 	// Beta is the multiplicative decrease factor (paper: 0.8).
-	Beta float64
+	Beta float64 `json:"Beta"`
 	// HAIThresh is the consecutive-negative-gradient count that enables
 	// hyper-active increase (paper: 5).
-	HAIThresh int
+	HAIThresh int `json:"HAIThresh"`
 	// MinRate and LineRate bound the rate.
-	MinRate, LineRate simtime.Rate
+	MinRate  simtime.Rate `json:"MinRate"`
+	LineRate simtime.Rate `json:"LineRate"`
 }
 
 // DefaultParams returns TIMELY parameters for the 40 Gb/s testbed.

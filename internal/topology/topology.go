@@ -10,6 +10,7 @@ package topology
 
 import (
 	"fmt"
+	"sort"
 
 	"dcqcn/internal/cc"
 	"dcqcn/internal/engine"
@@ -314,8 +315,13 @@ func (n *Network) FabricLinks() []*link.Link { return n.fabricLinks }
 // in the network — the random-loss environment of the paper's §7
 // discussion of non-congestion losses.
 func (n *Network) SetLossRate(p float64) {
-	for _, l := range n.hostLinks {
-		l.SetLossRate(p)
+	hosts := make([]string, 0, len(n.hostLinks))
+	for h := range n.hostLinks {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		n.hostLinks[h].SetLossRate(p)
 	}
 	for _, l := range n.fabricLinks {
 		l.SetLossRate(p)
