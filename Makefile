@@ -11,9 +11,9 @@ GO ?= go
 # same code (testdata fixtures are excluded by pattern expansion).
 PKGS ?= ./...
 
-.PHONY: check fmt vet lint build test race faults invariants flightrec parallel cc escape escape-update alloc-budgets bench bench-json sweep-smoke sweep chaos clean
+.PHONY: check fmt vet lint build test race faults invariants flightrec parallel cc hybrid escape escape-update alloc-budgets bench bench-json sweep-smoke sweep chaos clean
 
-check: fmt vet lint build faults race invariants flightrec parallel cc
+check: fmt vet lint build faults race invariants flightrec parallel cc hybrid
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -52,7 +52,7 @@ escape-update:
 alloc-budgets:
 	$(GO) test -run 'TestAllocBudget' -count=1 ./internal/eventq/ \
 		./internal/link/ ./internal/fabric/ ./internal/flightrec/ \
-		./internal/cc/
+		./internal/cc/ ./internal/fluid/ ./internal/hybrid/
 
 build:
 	$(GO) build ./...
@@ -117,19 +117,35 @@ parallel:
 	$(GO) run ./cmd/dcqcn-sweep -scenario unfairness -shards 4 -seeds 1 \
 		-check-determinism -quiet -out sweep-out
 
+# Hybrid fluid/packet co-simulation gate (internal/hybrid, DESIGN §15):
+# the fluid-law and substrate unit tests (passivity, coupling, alloc
+# budget, overload saturation), the experiment-suite gates (hybrid-off
+# golden digests, validation acceptance against pure-packet ground
+# truth), and a validation sweep through the CLI path with the
+# determinism gate on.
+hybrid:
+	$(GO) test -count=1 ./internal/fluid/ ./internal/hybrid/
+	$(GO) test -count=1 -run 'TestGoldenDigestsHybridOff|TestHybrid|TestRegisterHybridScenarios' \
+		./internal/experiments/
+	$(GO) run ./cmd/dcqcn-sweep -scenario hybrid-validate -seeds 1 \
+		-check-determinism -quiet -out hybrid-out
+
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkSweep -benchtime=1x .
 
 # Machine-readable benchmark artifacts: flight-recorder overhead
 # (armed vs disarmed incast), the sharded-runtime speedup (sequential
-# vs 2/4/8 shards on a cross-pod incast, digest-checked), and the
-# hot-path allocation budgets (ns/op + allocs/op for eventq push/pop,
-# link transmit, switch forward, recorder append).
+# vs 2/4/8 shards on a cross-pod incast, digest-checked), the hot-path
+# allocation budgets (ns/op + allocs/op for eventq push/pop, link
+# transmit, switch forward, recorder append), and the hybrid-substrate
+# scaling (ns/sim-ms at 0/10k/100k/1M background flows plus the
+# speedup over a packet-equivalent extrapolation).
 bench-json:
 	BENCH_JSON=BENCH_5.json $(GO) test -run TestBenchArtifact -v .
 	BENCH_JSON=BENCH_6.json $(GO) test -run TestShardedBenchArtifact -v .
 	BENCH_JSON=$(CURDIR)/BENCH_7.json $(GO) test -run TestAllocBudgetArtifact -v ./internal/flightrec/
 	BENCH_JSON=$(CURDIR)/BENCH_8.json $(GO) test -run TestCCBenchArtifact -v ./internal/cc/
+	BENCH_JSON=BENCH_10.json $(GO) test -run TestHybridBenchArtifact -v .
 
 # Quick end-to-end exercise of the harness: one scenario, 4 workers,
 # determinism gate on. Artifacts land in sweep-out/.
@@ -149,4 +165,4 @@ chaos:
 		-check-determinism -quiet -out chaos-out
 
 clean:
-	rm -rf sweep-out chaos-out cc-out
+	rm -rf sweep-out chaos-out cc-out hybrid-out

@@ -10,13 +10,16 @@
 // Usage:
 //
 //	dcqcn-experiments [-full] [-only fig16] [-list] [-parallel N]
-//	                  [-cc name]
+//	                  [-cc name] [-hybrid] [-bg-flows N]
 //
 // -full uses the high-fidelity settings recorded in EXPERIMENTS.md
 // (minutes of CPU time); the default quick settings finish in well under
 // a minute and preserve every qualitative conclusion. -cc swaps the
 // congestion-control algorithm (internal/cc registry name) for the
-// DCQCN modes of every experiment.
+// DCQCN modes of every experiment. -hybrid -bg-flows=N runs every
+// packet-level experiment over N fluid background flows
+// (internal/hybrid); the hybrid experiment entry itself sweeps the
+// hybrid-* scenarios regardless.
 package main
 
 import (
@@ -140,6 +143,8 @@ func all(reg *harness.Registry, fid experiments.Fidelity, parallel int) []experi
 			sweep(reg, "ablation-*", parallel)},
 		{"chaos", "Fault injection: pause storms, flaps, loss windows, deadlock probe",
 			sweep(reg, "chaos-*", parallel)},
+		{"hybrid", "Hybrid fluid/packet co-simulation: 10k/100k/1M background flows + validation",
+			sweep(reg, "hybrid-*", parallel)},
 	}
 }
 
@@ -170,6 +175,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Int("parallel", 0, "worker pool for scenario sweeps (0 = GOMAXPROCS)")
 	ccName := flag.String("cc", "dcqcn", "congestion-control algorithm for the DCQCN modes (internal/cc registry name)")
+	hybrid := flag.Bool("hybrid", false, "arm the fluid background substrate on every experiment (see -bg-flows)")
+	bgFlows := flag.Int("bg-flows", 0, "background flows modeled as fluid classes (> 0 implies -hybrid)")
 	flag.Parse()
 
 	fid := experiments.Quick()
@@ -181,9 +188,12 @@ func main() {
 		os.Exit(2)
 	}
 	fid.CC = *ccName
+	fid.Hybrid = *hybrid || *bgFlows > 0
+	fid.BgFlows = *bgFlows
 	reg := harness.NewRegistry()
 	experiments.RegisterScenarios(reg, fid)
 	experiments.RegisterChaosScenarios(reg, fid)
+	experiments.RegisterHybridScenarios(reg, fid)
 
 	exps := all(reg, fid, *parallel)
 	if *list {

@@ -14,6 +14,7 @@
 //	            [-seeds N] [-out dir] [-full] [-check-determinism]
 //	            [-bench] [-list] [-quiet] [-record] [-shards N]
 //	            [-cc name[,name...]] [-cc-params json] [-list-cc]
+//	            [-hybrid] [-bg-flows N]
 //
 // -check-determinism reruns every (point, seed) at least twice and fails
 // loudly unless engine digests and metrics are bit-identical — the gate
@@ -26,6 +27,14 @@
 // algorithm: per-algorithm artifacts land in <out>/cc-<name>/ and a
 // head-to-head comparison (cc_compare.json plus a printed table) lands
 // in <out>/.
+//
+// -hybrid arms the fluid/packet co-simulation substrate
+// (internal/hybrid) on every run: -bg-flows long-lived background
+// flows are modeled as fluid DCQCN classes coupled into the fabric's
+// buffers and ECN marking, at a cost independent of the flow count.
+// -bg-flows alone implies -hybrid. The hybrid-* scenarios (registered
+// regardless) sweep 10k/100k/1M background flows and validate the
+// approximation against pure-packet ground truth.
 package main
 
 import (
@@ -60,6 +69,8 @@ func main() {
 		ccSpec   = flag.String("cc", "dcqcn", "comma-separated congestion-control algorithms (see -list-cc)")
 		ccParams = flag.String("cc-params", "", "JSON object overlaid onto the selected algorithm's default params (single -cc only)")
 		listCC   = flag.Bool("list-cc", false, "list registered cc algorithms with default params as JSON and exit")
+		hybrid   = flag.Bool("hybrid", false, "arm the fluid background substrate on every run (see -bg-flows)")
+		bgFlows  = flag.Int("bg-flows", 0, "background flows modeled as fluid classes (> 0 implies -hybrid)")
 	)
 	flag.Parse()
 
@@ -107,11 +118,14 @@ func main() {
 		fidName = "full"
 	}
 	baseFid.Shards = *shards
+	baseFid.Hybrid = *hybrid || *bgFlows > 0
+	baseFid.BgFlows = *bgFlows
 
 	if *list {
 		reg := harness.NewRegistry()
 		experiments.RegisterScenarios(reg, baseFid)
 		experiments.RegisterChaosScenarios(reg, baseFid)
+		experiments.RegisterHybridScenarios(reg, baseFid)
 		for _, sc := range reg.All() {
 			fmt.Printf("%-18s %3d points x %d seeds  %s\n",
 				sc.Name, len(sc.Points), len(sc.Seeds), sc.Description)
@@ -132,6 +146,7 @@ func main() {
 		reg := harness.NewRegistry()
 		experiments.RegisterScenarios(reg, fid)
 		experiments.RegisterChaosScenarios(reg, fid)
+		experiments.RegisterHybridScenarios(reg, fid)
 		scs, err := reg.Select(*scenario)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -158,6 +173,8 @@ func main() {
 		prov.Shards = *shards
 		prov.Determinism = *checkDet
 		prov.Fidelity = fidName
+		prov.Hybrid = fid.Hybrid
+		prov.BgFlows = fid.BgFlows
 		prov.CC = sel.Name
 		prov.CCParams = sel.ParamsJSON()
 		prov.Describe(scs)

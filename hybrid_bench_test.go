@@ -1,0 +1,193 @@
+package dcqcn
+
+// Hybrid co-simulation benchmarks: an 8:1 incast on a star rig with a
+// fluid background substrate at 0 / 10k / 100k / 1M flows. The ODE
+// integrator's cost is per class and per port — independent of the
+// flow count — so the hybrid points should all cost about the same,
+// while a packet-level simulation of the same background population
+// scales with N (per-flow timers, per-packet events). `make
+// bench-json` runs TestHybridBenchArtifact, which measures both sides,
+// extrapolates the packet cost linearly from real small-N background
+// runs, and writes the comparison — including the speedup of the 100k
+// hybrid run over its packet-equivalent extrapolation — to
+// BENCH_10.json.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// hybridIncastRun drives the benchmark workload: 8 senders pour 2 MB
+// chunks into H9 for 10 ms simulated, over bgFlows fluid background
+// flows spread across the star's host pairs. Returns the digest.
+func hybridIncastRun(bgFlows int) string {
+	opts := DefaultOptions()
+	if bgFlows > 0 {
+		opts = opts.WithBackgroundFlows(bgFlows)
+	}
+	sim := NewStarNetwork(1, 9, opts)
+	recv := sim.Host("H9")
+	for i := 1; i <= 8; i++ {
+		flow := sim.Host(hostName(i)).OpenFlow(recv.NodeID())
+		var post func()
+		post = func() { flow.PostMessage(2e6, func(Completion) { post() }) }
+		post()
+	}
+	sim.RunFor(10 * Millisecond)
+	return sim.Digest()
+}
+
+// packetIncastRun is the ground-truth cost model: the same 8:1 incast
+// plus bgFlows real packet-level background flows from extra hosts
+// into a second receiver, so the background loads the fabric without
+// riding the measured bottleneck port.
+func packetIncastRun(bgFlows int) string {
+	sim := NewStarNetwork(1, 10+bgFlows, DefaultOptions())
+	recv := sim.Host("H9")
+	for i := 1; i <= 8; i++ {
+		flow := sim.Host(hostName(i)).OpenFlow(recv.NodeID())
+		var post func()
+		post = func() { flow.PostMessage(2e6, func(Completion) { post() }) }
+		post()
+	}
+	bgRecv := sim.Host("H10")
+	for i := 11; i <= 10+bgFlows; i++ {
+		flow := sim.Host(hostName(i)).OpenFlow(bgRecv.NodeID())
+		var post func()
+		post = func() { flow.PostMessage(2e6, func(Completion) { post() }) }
+		post()
+	}
+	sim.RunFor(10 * Millisecond)
+	return sim.Digest()
+}
+
+func hostName(i int) string {
+	return "H" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// BenchmarkHybridIncast0 is the baseline 8:1 incast without substrate.
+func BenchmarkHybridIncast0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hybridIncastRun(0)
+	}
+}
+
+// BenchmarkHybridIncast1M runs the same incast over a million fluid
+// background flows.
+func BenchmarkHybridIncast1M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hybridIncastRun(1_000_000)
+	}
+}
+
+// TestHybridBenchArtifact measures hybrid scaling (0/10k/100k/1M fluid
+// flows) and the packet-level cost of real background flows at small
+// N, extrapolates the latter linearly, and writes the comparison as
+// JSON to the path in $BENCH_JSON (skipped when unset — this is the
+// `make bench-json` entry point, not part of the normal suite). It
+// fails if the 100k-flow hybrid run is not at least 10x faster than
+// the packet-equivalent extrapolation, or if same-seed hybrid runs
+// are not digest-identical.
+func TestHybridBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to write the benchmark artifact")
+	}
+
+	type point struct {
+		BgFlows   int     `json:"bg_flows"`
+		NsOp      int64   `json:"ns_per_op"`
+		NsPerSimM int64   `json:"ns_per_sim_ms"`
+		VsZero    float64 `json:"cost_vs_zero"`
+	}
+	art := struct {
+		Benchmark       string  `json:"benchmark"`
+		NumCPU          int     `json:"num_cpu"`
+		Deterministic   bool    `json:"digests_identical"`
+		Hybrid          []point `json:"hybrid_points"`
+		Packet          []point `json:"packet_points"`
+		PacketNsPerFlow float64 `json:"packet_ns_per_flow"`
+		PacketExtrap    int64   `json:"packet_extrapolated_100k_ns"`
+		Hybrid100kNs    int64   `json:"hybrid_100k_ns"`
+		Speedup         float64 `json:"speedup_100k_vs_packet_extrapolation"`
+	}{Benchmark: "hybrid-incast-8to1-star-10ms", NumCPU: runtime.NumCPU(), Deterministic: true}
+
+	const simMS = 10
+	for _, bg := range []int{0, 10_000, 100_000, 1_000_000} {
+		if a, b := hybridIncastRun(bg), hybridIncastRun(bg); a != b {
+			t.Errorf("bg=%d: same-seed digests diverged: %s vs %s", bg, a, b)
+			art.Deterministic = false
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hybridIncastRun(bg)
+			}
+		})
+		p := point{BgFlows: bg, NsOp: r.NsPerOp(), NsPerSimM: r.NsPerOp() / simMS, VsZero: 1}
+		if len(art.Hybrid) > 0 {
+			p.VsZero = float64(p.NsOp) / float64(art.Hybrid[0].NsOp)
+		}
+		art.Hybrid = append(art.Hybrid, p)
+		if bg == 100_000 {
+			art.Hybrid100kNs = p.NsOp
+		}
+	}
+
+	// Packet ground truth at small N; the per-flow slope extrapolates
+	// to what 100k real background flows would cost. Real DCQCN flows
+	// cost per-flow timer events even when marking throttles them, so
+	// linear extrapolation is conservative for large N (state alone
+	// grows the constant too).
+	for _, bg := range []int{0, 16, 64} {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				packetIncastRun(bg)
+			}
+		})
+		art.Packet = append(art.Packet, point{BgFlows: bg, NsOp: r.NsPerOp(), NsPerSimM: r.NsPerOp() / simMS})
+	}
+	first, last := art.Packet[0], art.Packet[len(art.Packet)-1]
+	art.PacketNsPerFlow = float64(last.NsOp-first.NsOp) / float64(last.BgFlows-first.BgFlows)
+	art.PacketExtrap = first.NsOp + int64(art.PacketNsPerFlow*100_000)
+	if art.Hybrid100kNs > 0 {
+		art.Speedup = float64(art.PacketExtrap) / float64(art.Hybrid100kNs)
+	}
+	if art.Speedup < 10 {
+		t.Errorf("hybrid at 100k background flows is only %.1fx faster than the packet extrapolation, want >= 10x",
+			art.Speedup)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range art.Hybrid {
+		t.Logf("hybrid bg=%d: %d ns/op (%d ns per simulated ms, %.2fx vs bg=0)", p.BgFlows, p.NsOp, p.NsPerSimM, p.VsZero)
+	}
+	t.Logf("packet: %.0f ns/flow, extrapolated 100k = %d ns; hybrid speedup %.1fx",
+		art.PacketNsPerFlow, art.PacketExtrap, art.Speedup)
+}

@@ -14,6 +14,7 @@ import (
 
 	"dcqcn/internal/cc"
 	"dcqcn/internal/core"
+	"dcqcn/internal/hybrid"
 	"dcqcn/internal/nic"
 
 	// Register the sharded runtime: any scenario built with
@@ -83,6 +84,15 @@ type Fidelity struct {
 	// algorithm's default parameters (the -cc-params flag; see
 	// cc.Selection.ApplyParamsJSON).
 	CCParams json.RawMessage
+	// Hybrid arms the fluid/packet co-simulation substrate
+	// (internal/hybrid) on every network a scenario builds: BgFlows
+	// long-lived background flows are modeled as fluid DCQCN classes
+	// coupled into the fabric's buffers and marking. With BgFlows = 0
+	// the armer still runs but attaches nothing — digests stay
+	// bit-identical to an unarmed run (the hybrid-off passivity gate).
+	Hybrid bool
+	// BgFlows is the background flow count the hybrid substrate models.
+	BgFlows int
 }
 
 // Quick returns the fidelity used by tests and benchmarks.
@@ -117,6 +127,7 @@ func options(mode Mode, seedBase uint64, fid Fidelity) topology.Options {
 		opts.NIC.NPEnabled = false
 		opts.Switch.Marking.KMin = 1 << 40 // marking off
 		opts.Switch.Marking.KMax = 1 << 40
+		armHybrid(&opts, fid)
 		return opts
 	}
 	// The DCQCN modes route through the cc registry — the default
@@ -157,7 +168,21 @@ func options(mode Mode, seedBase uint64, fid Fidelity) topology.Options {
 	// marking off for delay/hint algorithms in the well-configured mode)
 	// take precedence over the per-mode marking defaults above.
 	topology.ApplyCC(&opts, sel, mode == ModeDCQCN)
+	armHybrid(&opts, fid)
 	return opts
+}
+
+// armHybrid installs the hybrid background-traffic armer when the
+// fidelity asks for it. The fluid classes run against the same marking
+// profile the mode configured on the switches, so fluid and packet
+// traffic answer to one law.
+func armHybrid(opts *topology.Options, fid Fidelity) {
+	if !fid.Hybrid {
+		return
+	}
+	hcfg := hybrid.DefaultConfig()
+	hcfg.Params = opts.Switch.Marking
+	opts.Background = hybrid.Armer(hcfg, fid.BgFlows)
 }
 
 // ccName resolves the fidelity's algorithm name, defaulting to DCQCN.

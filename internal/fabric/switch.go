@@ -129,6 +129,20 @@ type Switch struct {
 	// passive, same contract as OnDrop.
 	OnMark func(p *packet.Packet, outPort int)
 
+	// FluidEgress and FluidOccupied couple the hybrid co-simulation's
+	// fluid background traffic (internal/hybrid) into this switch's
+	// decisions. FluidEgress returns the modeled background bytes
+	// standing on the egress queue of (port, priority) — added to the
+	// packet-level queue length the ECN marking law sees. FluidOccupied
+	// returns the background bytes held in the shared buffer — added to
+	// the packet-level occupancy that admission and the dynamic PFC
+	// threshold see. Both are read on the forwarding hot path: they must
+	// be allocation-free, deterministic, and must not touch the event
+	// queue. Nil (the default) means no fluid traffic: every path below
+	// then behaves bit-identically to a build without these fields.
+	FluidEgress   func(port int, prio uint8) int64
+	FluidOccupied func() int64
+
 	// pauseRefresh holds one pre-bound XOFF-refresh continuation per
 	// (ingress port, priority), created at construction: a congested
 	// switch re-asserts XOFF every half pause interval for as long as
@@ -268,6 +282,33 @@ func (s *Switch) SetMarking(p core.Params) {
 	s.cp = core.NewCP(p, s.markRng.Float64)
 }
 
+// effOccupied returns the shared-buffer occupancy every buffer-space
+// decision (admission, PFC thresholds, egress-alpha headroom) works
+// from: the packet bytes actually held plus, when the hybrid substrate
+// is attached, the bytes its fluid background traffic models as
+// standing in this switch.
+//
+//hot:path
+func (s *Switch) effOccupied() int64 {
+	if s.FluidOccupied != nil {
+		return s.occupied + s.FluidOccupied()
+	}
+	return s.occupied
+}
+
+// effEgressQueue returns the egress queue length the marking law and
+// egress-alpha check see on (port, prio): packet bytes waiting plus the
+// fluid background share of the port.
+//
+//hot:path
+func (s *Switch) effEgressQueue(port int, prio uint8) int64 {
+	q := s.ports[port].QueuedBytes(prio)
+	if s.FluidEgress != nil {
+		q += s.FluidEgress(port, prio)
+	}
+	return q
+}
+
 // pfcThreshold returns the XOFF threshold in force right now.
 //
 //hot:path
@@ -275,7 +316,7 @@ func (s *Switch) pfcThreshold() int64 {
 	if s.cfg.StaticPFCThreshold > 0 {
 		return s.cfg.StaticPFCThreshold
 	}
-	return s.cfg.Spec.DynamicPFCThreshold(s.cfg.Beta, s.occupied)
+	return s.cfg.Spec.DynamicPFCThreshold(s.cfg.Beta, s.effOccupied())
 }
 
 // HandlePacket implements link.Receiver: the switch forwarding pipeline.
@@ -287,7 +328,7 @@ func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 	// EgressAlpha·(B − s). With PFC configured correctly neither check
 	// can trigger; without it, this is the tail drop the paper's Fig. 18
 	// demonstrates.
-	if s.occupied+int64(p.Size) > s.cfg.Spec.BufferBytes {
+	if s.effOccupied()+int64(p.Size) > s.cfg.Spec.BufferBytes {
 		s.Stats.Drops++
 		in.Stats.Drops++
 		s.acct[in.Index].DroppedBytes += int64(p.Size)
@@ -298,8 +339,8 @@ func (s *Switch) HandlePacket(p *packet.Packet, in *link.Port) {
 	}
 	if !s.cfg.PFCEnabled && s.cfg.EgressAlpha > 0 {
 		if out, ok := s.RouteChoice(p.Tuple); ok {
-			limit := int64(s.cfg.EgressAlpha * float64(s.cfg.Spec.BufferBytes-s.occupied))
-			if s.ports[out].QueuedBytes(p.Priority) > limit {
+			limit := int64(s.cfg.EgressAlpha * float64(s.cfg.Spec.BufferBytes-s.effOccupied()))
+			if s.effEgressQueue(out, p.Priority) > limit {
 				s.Stats.Drops++
 				in.Stats.Drops++
 				s.acct[in.Index].DroppedBytes += int64(p.Size)
@@ -338,7 +379,7 @@ func (s *Switch) forward(p *packet.Packet) {
 	}
 	port := s.ports[out]
 
-	qlen := port.QueuedBytes(p.Priority)
+	qlen := s.effEgressQueue(out, p.Priority)
 	if p.ECNCapable && s.cp.ShouldMark(qlen) {
 		p.CE = true
 		s.Stats.EcnMarked++

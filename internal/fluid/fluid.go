@@ -181,27 +181,18 @@ func Solve(cfg Config) (*Result, error) {
 	}
 
 	p := cfg.Params
-	tau := p.CNPInterval.Seconds()     // τ: CNP spacing (cut window)
-	tauPrime := p.AlphaTimer.Seconds() // τ': alpha update interval
-	timerT := p.RateTimer.Seconds()    // T: rate-increase timer
-	bPkts := float64(p.ByteCounter) / float64(cfg.MTUBytes)
-	fStages := float64(p.F)
-	rAI := float64(p.RAI) / mtuBits // packets/s
+	law := NewLaw(p, cfg.MTUBytes)
 	capacity := float64(cfg.Capacity) / mtuBits
 
 	// State in packets/second.
-	rc := make([]float64, n)
-	rt := make([]float64, n)
-	alpha := make([]float64, n)
+	flows := make([]FlowState, n)
 	for i, r := range cfg.InitialRates {
-		rc[i] = float64(r) / mtuBits
-		rt[i] = rc[i]
-		alpha[i] = 1
+		flows[i] = law.InitialState(r)
 		if i < len(cfg.InitialTargets) && cfg.InitialTargets[i] > 0 {
-			rt[i] = float64(cfg.InitialTargets[i]) / mtuBits
+			flows[i].RT = float64(cfg.InitialTargets[i]) / mtuBits
 		}
 		if i < len(cfg.InitialAlpha) && cfg.InitialAlpha[i] > 0 {
-			alpha[i] = cfg.InitialAlpha[i]
+			flows[i].Alpha = cfg.InitialAlpha[i]
 		}
 	}
 	q := cfg.InitialQueue // bytes
@@ -211,7 +202,9 @@ func Solve(cfg Config) (*Result, error) {
 	rcHist := make([][]float64, delaySteps)
 	for i := range rcHist {
 		rcHist[i] = make([]float64, n)
-		copy(rcHist[i], rc)
+		for j := range flows {
+			rcHist[i][j] = flows[j].RC
+		}
 	}
 
 	res := &Result{
@@ -219,17 +212,15 @@ func Solve(cfg Config) (*Result, error) {
 		Targets: make([][]float64, n),
 		Alpha:   make([][]float64, n),
 	}
-	lineRate := float64(p.LineRate) / mtuBits
-	minRate := float64(p.MinRate) / mtuBits
 
 	for step := 0; step < steps; step++ {
 		if step%sampleEvery == 0 {
 			res.Time = append(res.Time, float64(step)*dt)
 			res.Queue = append(res.Queue, q)
 			for i := 0; i < n; i++ {
-				res.Rates[i] = append(res.Rates[i], rc[i]*mtuBits)
-				res.Targets[i] = append(res.Targets[i], rt[i]*mtuBits)
-				res.Alpha[i] = append(res.Alpha[i], alpha[i])
+				res.Rates[i] = append(res.Rates[i], flows[i].RC*mtuBits)
+				res.Targets[i] = append(res.Targets[i], flows[i].RT*mtuBits)
+				res.Alpha[i] = append(res.Alpha[i], flows[i].Alpha)
 			}
 		}
 
@@ -241,69 +232,20 @@ func Solve(cfg Config) (*Result, error) {
 		// delaySteps steps from now).
 		pNow := p.MarkingProbability(int64(q))
 		pHist[h] = pNow
-		copy(rcHist[h], rc)
+		for j := range flows {
+			rcHist[h][j] = flows[j].RC
+		}
 
 		// Queue evolution (6)/(11), in bytes.
 		sum := 0.0
 		for i := 0; i < n; i++ {
-			sum += rc[i]
+			sum += flows[i].RC
 		}
-		q += (sum - capacity) * float64(cfg.MTUBytes) * dt
-		if q < 0 {
-			q = 0
-		}
+		q = law.StepQueue(q, sum, capacity, dt, 0)
 
-		if pDel >= 1 {
-			pDel = 1 - 1e-12
-		}
-		onemp := 1 - pDel
-		logOnemp := math.Log(onemp)
-
+		m := law.Delay(pDel)
 		for i := 0; i < n; i++ {
-			rcD := rcDel[i]
-			// Probability that a CNP window contains a mark.
-			pCut := 1 - math.Exp(float64(tau*rcD)*logOnemp)
-			// Event rates of the byte-counter and timer increase stages:
-			// p/((1−p)^{−B}−1) ≈ 1/B and p/((1−p)^{−T·R}−1) ≈ 1/(T·R).
-			var evB, evT float64
-			if pDel > 0 {
-				evB = rcD * pDel / (math.Exp(-bPkts*logOnemp) - 1)
-				evT = rcD * pDel / (math.Exp(-timerT*rcD*logOnemp) - 1)
-			} else {
-				evB = rcD / bPkts
-				if timerT > 0 {
-					evT = 1 / timerT
-				}
-			}
-			// Probability of having survived F stages (AI phase reached).
-			aiB := math.Exp(fStages * bPkts * logOnemp)
-			aiT := math.Exp(fStages * timerT * rcD * logOnemp)
-
-			dAlpha := p.G / tauPrime * (pCut - alpha[i])
-			dRT := -(rt[i]-rc[i])/tau*pCut + rAI*evB*aiB + rAI*evT*aiT
-			dRC := -rc[i]*alpha[i]/(2*tau)*pCut + (rt[i]-rc[i])/2*(evB+evT)
-
-			alpha[i] += dAlpha * dt
-			rt[i] += dRT * dt
-			rc[i] += dRC * dt
-
-			if alpha[i] < 0 {
-				alpha[i] = 0
-			} else if alpha[i] > 1 {
-				alpha[i] = 1
-			}
-			if rt[i] > lineRate {
-				rt[i] = lineRate
-			}
-			if rc[i] > lineRate {
-				rc[i] = lineRate
-			}
-			if rc[i] < minRate {
-				rc[i] = minRate
-			}
-			if rt[i] < rc[i] {
-				rt[i] = rc[i]
-			}
+			law.Step(&flows[i], m, rcDel[i], dt)
 		}
 	}
 	return res, nil

@@ -1,0 +1,168 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"dcqcn/internal/core"
+	"dcqcn/internal/simtime"
+)
+
+// TestLawStepMatchesSolve pins the refactoring contract: Solve drives
+// the extracted Law, so stepping the law by hand with the same delay
+// lines must reproduce Solve's trajectory exactly.
+func TestLawStepMatchesSolve(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 20 * simtime.Millisecond
+	res, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	law := NewLaw(cfg.Params, cfg.MTUBytes)
+	dt := cfg.Step.Seconds()
+	delaySteps := int(cfg.FeedbackDelay / cfg.Step)
+	steps := int(cfg.Duration / cfg.Step)
+	sampleEvery := int(cfg.SampleEvery / cfg.Step)
+	capacity := law.PktRate(cfg.Capacity)
+
+	n := len(cfg.InitialRates)
+	flows := make([]FlowState, n)
+	for i, r := range cfg.InitialRates {
+		flows[i] = law.InitialState(r)
+	}
+	var q float64
+	pHist := make([]float64, delaySteps)
+	rcHist := make([][]float64, delaySteps)
+	for i := range rcHist {
+		rcHist[i] = make([]float64, n)
+		for j := range flows {
+			rcHist[i][j] = flows[j].RC
+		}
+	}
+
+	sample := 0
+	for step := 0; step < steps; step++ {
+		if step%sampleEvery == 0 {
+			for i := range flows {
+				if got, want := law.BitRate(flows[i].RC), res.Rates[i][sample]; got != want {
+					t.Fatalf("step %d flow %d: RC %g, Solve has %g", step, i, got, want)
+				}
+			}
+			if q != res.Queue[sample] {
+				t.Fatalf("step %d: queue %g, Solve has %g", step, q, res.Queue[sample])
+			}
+			sample++
+		}
+		h := step % delaySteps
+		pDel, rcDel := pHist[h], rcHist[h]
+		pHist[h] = law.Params.MarkingProbability(int64(q))
+		for j := range flows {
+			rcHist[h][j] = flows[j].RC
+		}
+		sum := 0.0
+		for i := range flows {
+			sum += flows[i].RC
+		}
+		q = law.StepQueue(q, sum, capacity, dt, 0)
+		m := law.Delay(pDel)
+		for i := range flows {
+			law.Step(&flows[i], m, rcDel[i], dt)
+		}
+	}
+}
+
+// TestLawStepZeroFlow drives the law from a zero-rate state (reachable
+// when MinRate is zero, as live classes can be configured): the timer
+// event-rate denominator (1−p)^{−T·R'}−1 collapses to 0 there, and the
+// guarded step must take the analytic limit instead of producing NaN.
+func TestLawStepZeroFlow(t *testing.T) {
+	p := core.DefaultParams()
+	p.MinRate = 0
+	law := NewLaw(p, 1500)
+	s := FlowState{RC: 0, RT: 0, Alpha: 1}
+	for _, prob := range []float64{0, 0.01, 0.5, 1, 1.5} {
+		st := s
+		law.Step(&st, law.Delay(prob), 0, 1e-6)
+		if math.IsNaN(st.RC) || math.IsNaN(st.RT) || math.IsNaN(st.Alpha) {
+			t.Fatalf("p=%g: NaN state %+v", prob, st)
+		}
+		if math.IsInf(st.RC, 0) || math.IsInf(st.RT, 0) {
+			t.Fatalf("p=%g: Inf state %+v", prob, st)
+		}
+		if st.RC < 0 || st.RT < st.RC {
+			t.Fatalf("p=%g: invariant broken %+v", prob, st)
+		}
+	}
+}
+
+// TestLawStepZeroTimers exercises degenerate parameters a caller can
+// construct (zero CNP interval — the "zero RTT" of a co-located loop —
+// zero alpha timer, zero byte counter): every division is guarded, so
+// the step stays finite.
+func TestLawStepZeroTimers(t *testing.T) {
+	p := core.DefaultParams()
+	p.CNPInterval = 0
+	p.AlphaTimer = 0
+	p.RateTimer = 0
+	p.ByteCounter = 0
+	law := NewLaw(p, 1500)
+	s := law.InitialState(40 * simtime.Gbps)
+	for i := 0; i < 100; i++ {
+		law.Step(&s, law.Delay(0.2), s.RC, 1e-6)
+	}
+	if math.IsNaN(s.RC) || math.IsNaN(s.RT) || math.IsNaN(s.Alpha) {
+		t.Fatalf("NaN state %+v", s)
+	}
+	if math.IsInf(s.RC, 0) || math.IsInf(s.RT, 0) || math.IsInf(s.Alpha, 0) {
+		t.Fatalf("Inf state %+v", s)
+	}
+}
+
+// TestLawStepTinyMarking hits the byte-counter denominator underflow:
+// with p small enough that (1−p)^{−B} rounds to exactly 1, the event
+// rate must fall back to the p→0 limit R'/B rather than divide by zero.
+func TestLawStepTinyMarking(t *testing.T) {
+	law := NewLaw(core.DefaultParams(), 1500)
+	s := law.InitialState(40 * simtime.Gbps)
+	law.Step(&s, law.Delay(1e-300), s.RC, 1e-6)
+	if math.IsNaN(s.RC) || math.IsInf(s.RC, 0) {
+		t.Fatalf("tiny marking probability produced %+v", s)
+	}
+}
+
+// TestStepQueueClamps pins the queue-occupancy clamps: never negative,
+// and saturating at the cap when one is given.
+func TestStepQueueClamps(t *testing.T) {
+	law := NewLaw(core.DefaultParams(), 1500)
+	// Draining an empty queue stays at zero.
+	if q := law.StepQueue(0, 0, 1e6, 1e-3, 0); q != 0 {
+		t.Fatalf("under-load queue = %g, want 0", q)
+	}
+	// Heavy overload saturates at the cap instead of growing unbounded.
+	if q := law.StepQueue(0, 1e12, 0, 1, 9e6); q != 9e6 {
+		t.Fatalf("overloaded queue = %g, want cap 9e6", q)
+	}
+	// A negative starting value (external corruption) is repaired.
+	if q := law.StepQueue(-5, 0, 0, 1e-6, 0); q != 0 {
+		t.Fatalf("negative queue = %g, want 0", q)
+	}
+	// Ordinary accumulation: 1000 extra pkts/s for 1 ms at 1500 B.
+	got := law.StepQueue(100, 2000, 1000, 1e-3, 0)
+	want := 100 + 1000*1500*1e-3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("queue = %g, want %g", got, want)
+	}
+}
+
+// TestLawUnitConversions pins the packet/bit conversions round-trip.
+func TestLawUnitConversions(t *testing.T) {
+	law := NewLaw(core.DefaultParams(), 1500)
+	r := 40 * simtime.Gbps
+	if got := law.BitRate(law.PktRate(r)); math.Abs(got-float64(r)) > 1 {
+		t.Fatalf("round trip %g, want %g", got, float64(r))
+	}
+	if law.LineRatePkts() <= 0 || law.MinRatePkts() < 0 {
+		t.Fatalf("rate bounds: line=%g min=%g", law.LineRatePkts(), law.MinRatePkts())
+	}
+}

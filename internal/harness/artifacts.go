@@ -49,6 +49,11 @@ type Provenance struct {
 	// flightrec.Arm) for every run this sweep executed.
 	FlightRec bool   `json:"flightrec_armed"`
 	Fidelity  string `json:"fidelity"`
+	// Hybrid and BgFlows record the fluid/packet co-simulation arming
+	// (internal/hybrid): whether every run carried the fluid background
+	// substrate, and at how many modeled flows.
+	Hybrid  bool `json:"hybrid_armed"`
+	BgFlows int  `json:"bg_flows,omitempty"`
 	// CC and CCParams record the congestion-control selection driving
 	// the DCQCN modes of every scenario in this sweep: the registry name
 	// and the exact (possibly -cc-params-refined) parameter set.

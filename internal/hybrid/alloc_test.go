@@ -1,0 +1,32 @@
+//go:build !race
+
+// Allocation budget for the hot-path contract (DESIGN §12): the
+// substrate's integration step fires every Config.Step (10 µs) of
+// simtime for the whole run, so it is a per-event cost like the event
+// queue's — and like there, the budget is zero heap allocations per
+// step regardless of how many flows the substrate models. Race builds
+// skip the budget; the race detector perturbs allocation counts.
+
+package hybrid
+
+import (
+	"testing"
+
+	"dcqcn/internal/simtime"
+	"dcqcn/internal/topology"
+)
+
+func TestAllocBudgetTick(t *testing.T) {
+	var sub *Substrate
+	net := star(3, 4, func(net *topology.Network) {
+		sub = AttachBackground(net, DefaultConfig(), 100000)
+	})
+	greedy(net, "H1", "H4")
+	net.Sim.Run(simtime.Time(simtime.Millisecond))
+	if !sub.Active() || sub.Steps() == 0 {
+		t.Fatal("substrate not running")
+	}
+	if avg := testing.AllocsPerRun(200, func() { sub.tick(0) }); avg != 0 {
+		t.Fatalf("integration step allocates %.1f objects/step, budget is 0", avg)
+	}
+}

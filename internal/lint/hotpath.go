@@ -38,17 +38,21 @@ const hotDirective = "//hot:path"
 const hotAllowDirective = "//hot:allow"
 
 // HotPackages are the designated hot packages: the event queue, the
-// engine run loop, the link transmit pipeline and the flight-recorder
-// write path. Their per-event functions must carry //hot:path
-// annotations; hotalloc reports a designated package that has none, so
-// the contract cannot be silently deleted annotation by annotation.
-// The escape auditor (internal/escape) scans the same list.
+// engine run loop, the link transmit pipeline, the flight-recorder
+// write path, and the fluid/hybrid integration step (which fires every
+// 10 µs of simtime regardless of how many flows it models). Their
+// per-event functions must carry //hot:path annotations; hotalloc
+// reports a designated package that has none, so the contract cannot
+// be silently deleted annotation by annotation. The escape auditor
+// (internal/escape) scans the same list.
 var HotPackages = []string{
 	"dcqcn/internal/cc",
 	"dcqcn/internal/engine",
 	"dcqcn/internal/eventq",
 	"dcqcn/internal/link",
 	"dcqcn/internal/flightrec",
+	"dcqcn/internal/fluid",
+	"dcqcn/internal/hybrid",
 }
 
 // IsHotPackage reports whether pkgPath is a designated hot package.

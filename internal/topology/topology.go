@@ -50,6 +50,14 @@ type Options struct {
 	// congestion point of QCN or switch-assist — to every switch at build
 	// time.
 	CC *cc.Selection
+	// Background, if set, runs at the end of every builder, after routes,
+	// sharding and CC samplers but before the OnBuild observer hook. It is
+	// the attachment point for the hybrid co-simulation's fluid
+	// background-traffic substrate (internal/hybrid): unlike OnBuild
+	// observers it is allowed to schedule events and couple into switch
+	// decisions, so it deliberately runs before passive observers arm —
+	// they then see the network with its background traffic in place.
+	Background func(*Network)
 }
 
 // DefaultOptions returns the paper's testbed defaults.
@@ -139,6 +147,7 @@ type Network struct {
 	swPorts   map[*fabric.Switch]int // next free port
 	neighbors map[*fabric.Switch][]edge
 	attached  map[*fabric.Switch][]hostEdge
+	hostTors  map[string]*fabric.Switch
 }
 
 type edge struct {
@@ -166,6 +175,7 @@ func NewNetwork(seed int64, opts Options) *Network {
 		swPorts:   make(map[*fabric.Switch]int),
 		neighbors: make(map[*fabric.Switch][]edge),
 		attached:  make(map[*fabric.Switch][]hostEdge),
+		hostTors:  make(map[string]*fabric.Switch),
 	}
 }
 
@@ -192,6 +202,7 @@ func (n *Network) AddHost(name string, tor *fabric.Switch) *nic.NIC {
 	port := n.takePort(tor)
 	n.hostLinks[name] = link.Connect(n.msim, h.Port(), tor.Port(port), n.opts.HostLinkDelay)
 	n.attached[tor] = append(n.attached[tor], hostEdge{host: h, port: port})
+	n.hostTors[name] = tor
 	n.Hosts[name] = h
 	n.hostOrder = append(n.hostOrder, name)
 	return h
@@ -298,6 +309,57 @@ func (n *Network) takePort(sw *fabric.Switch) int {
 	return p
 }
 
+// HostToR returns the switch a host attaches to.
+func (n *Network) HostToR(host string) *fabric.Switch {
+	tor, ok := n.hostTors[host]
+	if !ok {
+		panic("topology: no host " + host)
+	}
+	return tor
+}
+
+// SwitchPort identifies one egress port of one switch — a hop on a
+// routed path through the fabric.
+type SwitchPort struct {
+	Switch *fabric.Switch
+	Port   int
+}
+
+// PathPorts returns the (switch, egress port) hops a flow from src to
+// dst traverses, in routing order, resolving each switch's ECMP choice
+// with the given transport source port (RoCEv2 destination port and UDP
+// protocol number, as real flows use). The hybrid co-simulation places
+// fluid background flows on exactly the ports a packet flow with the
+// same tuple would load.
+func (n *Network) PathPorts(src, dst string, srcPort uint16) []SwitchPort {
+	dstID := n.Host(dst).ID
+	tuple := packet.FiveTuple{
+		Src: n.Host(src).ID, Dst: dstID,
+		SrcPort: srcPort, DstPort: 4791, Proto: 17,
+	}
+	var path []SwitchPort
+	cur := n.HostToR(src)
+	for hops := 0; hops <= len(n.swOrder); hops++ {
+		out, ok := cur.RouteChoice(tuple)
+		if !ok {
+			panic(fmt.Sprintf("topology: %s has no route to host %s", cur.Name, dst))
+		}
+		path = append(path, SwitchPort{Switch: cur, Port: out})
+		next := (*fabric.Switch)(nil)
+		for _, e := range n.neighbors[cur] {
+			if e.port == out {
+				next = e.peer
+				break
+			}
+		}
+		if next == nil {
+			return path // port leads to the destination host
+		}
+		cur = next
+	}
+	panic(fmt.Sprintf("topology: routing loop from %s to %s", src, dst))
+}
+
 // HostLink returns the link attaching a host to its ToR, e.g. to inject
 // non-congestion losses (§7) or read link counters.
 func (n *Network) HostLink(host string) *link.Link {
@@ -381,6 +443,9 @@ func (n *Network) built() {
 		Sharder(n, n.opts.Shards)
 	}
 	n.attachCCSamplers()
+	if n.opts.Background != nil {
+		n.opts.Background(n)
+	}
 	if OnBuild != nil {
 		OnBuild(n)
 	}

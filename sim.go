@@ -6,6 +6,7 @@ import (
 	"dcqcn/internal/cc"
 	"dcqcn/internal/core"
 	"dcqcn/internal/flightrec"
+	"dcqcn/internal/hybrid"
 	"dcqcn/internal/nic"
 	"dcqcn/internal/packet"
 
@@ -82,6 +83,23 @@ func (o Options) WithHostsPerToR(n int) Options {
 // switch — quietly stay sequential.
 func (o Options) WithShards(n int) Options {
 	o.inner.Shards = n
+	return o
+}
+
+// WithBackgroundFlows models n long-lived background flows as a fluid
+// DCQCN substrate (internal/hybrid): flows are folded into per-class
+// ODEs integrated on the simulation clock, contribute queue occupancy
+// and ECN-marking pressure to the fabric's shared buffers, and back
+// off under the same marking the packet traffic sees — at a cost
+// independent of n. Flows are spread over host pairs by the default
+// placement. n = 0 arms nothing and leaves runs bit-identical.
+//
+// The substrate snapshots the switch marking profile when this option
+// is applied, so call it after WithDCQCN/WithPFCOnly/WithCC.
+func (o Options) WithBackgroundFlows(n int) Options {
+	cfg := hybrid.DefaultConfig()
+	cfg.Params = o.inner.Switch.Marking
+	o.inner.Background = hybrid.Armer(cfg, n)
 	return o
 }
 
